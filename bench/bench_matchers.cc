@@ -1,0 +1,95 @@
+// P3 — matcher train/predict throughput on the case study's real feature
+// matrix: how expensive is each of the six §9 families to cross-validate,
+// and how fast is bulk prediction over the candidate set.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/case_study.h"
+#include "src/datagen/preprocess.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear_regression.h"
+#include "src/ml/linear_svm.h"
+#include "src/ml/logistic_regression.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/random_forest.h"
+
+namespace {
+
+using namespace emx;
+
+struct Fixture {
+  Dataset train;
+  std::vector<std::vector<double>> predict_rows;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture& f = *[] {
+    auto data = GenerateCaseStudy();
+    auto tables = PreprocessCaseStudy(*data);
+    const Table& u = tables->umetrics;
+    const Table& s = tables->usda;
+    auto blocks = RunStandardBlocking(u, s);
+    OracleLabeler oracle = MakeOracle(data->gold, data->ambiguous);
+    LabeledSet labels = CollectCorrectedLabels(oracle, blocks->c, 3, 100, 100);
+    auto trained =
+        TrainBestMatcher(u, s, labels, PositiveRulesV1(), /*case_fix=*/true);
+    auto features = CaseStudyFeatures(u, s, /*case_fix=*/true);
+    auto matrix = VectorizePairs(u, s, blocks->c, *features);
+    MeanImputer imputer;
+    imputer.Fit(*matrix);
+    (void)imputer.Transform(*matrix);
+    return new Fixture{trained->train_data, std::move(matrix->rows)};
+  }();
+  return f;
+}
+
+template <typename M>
+void FitBench(benchmark::State& state, M make) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto m = make();
+    (void)m->Fit(f.train);
+    benchmark::DoNotOptimize(m.get());
+  }
+}
+
+void BM_FitDecisionTree(benchmark::State& state) {
+  FitBench(state, [] { return std::make_unique<DecisionTreeMatcher>(); });
+}
+void BM_FitRandomForest(benchmark::State& state) {
+  FitBench(state, [] { return std::make_unique<RandomForestMatcher>(); });
+}
+void BM_FitLogisticRegression(benchmark::State& state) {
+  FitBench(state,
+           [] { return std::make_unique<LogisticRegressionMatcher>(); });
+}
+void BM_FitNaiveBayes(benchmark::State& state) {
+  FitBench(state, [] { return std::make_unique<NaiveBayesMatcher>(); });
+}
+void BM_FitLinearSvm(benchmark::State& state) {
+  FitBench(state, [] { return std::make_unique<LinearSvmMatcher>(); });
+}
+void BM_FitLinearRegression(benchmark::State& state) {
+  FitBench(state, [] { return std::make_unique<LinearRegressionMatcher>(); });
+}
+BENCHMARK(BM_FitDecisionTree)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitRandomForest)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitLogisticRegression)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitNaiveBayes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitLinearSvm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitLinearRegression)->Unit(benchmark::kMillisecond);
+
+// Bulk prediction over the full candidate set (~3.5K pairs, 35 features).
+void BM_PredictCandidateSet(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  RandomForestMatcher forest;
+  (void)forest.Fit(f.train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(f.predict_rows));
+  }
+}
+BENCHMARK(BM_PredictCandidateSet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// P1 — similarity-measure throughput. Feature generation evaluates these
+// measures millions of times across the candidate set; these benches show
+// the per-call cost hierarchy (exact < jaro < levenshtein < token-set <
+// monge-elkan) that motivates using cheap measures inside blocking and the
+// expensive ones only on surviving pairs.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/random.h"
+#include "src/datagen/vocab.h"
+#include "src/text/sequence_similarity.h"
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace {
+
+using namespace emx;
+
+// A deterministic pool of realistic title pairs.
+std::vector<std::pair<std::string, std::string>> MakePairs(size_t n) {
+  RandomEngine rng(99);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto a = MakeTitleTokens(rng);
+    auto b = rng.NextBernoulli(0.5) ? a : MakeTitleTokens(rng);
+    std::string sa, sb;
+    for (const auto& t : a) {
+      if (!sa.empty()) sa += ' ';
+      sa += t;
+    }
+    for (const auto& t : b) {
+      if (!sb.empty()) sb += ' ';
+      sb += t;
+    }
+    out.push_back({sa, sb});
+  }
+  return out;
+}
+
+const auto& Pairs() {
+  static const auto& pairs = *new auto(MakePairs(512));
+  return pairs;
+}
+
+template <double (*Fn)(std::string_view, std::string_view)>
+void BM_StringMeasure(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(Fn(a, b));
+  }
+}
+
+BENCHMARK(BM_StringMeasure<ExactMatch>);
+BENCHMARK(BM_StringMeasure<JaroSimilarity>);
+BENCHMARK(BM_StringMeasure<LevenshteinSimilarity>);
+BENCHMARK(BM_StringMeasure<NeedlemanWunschSimilarity>);
+BENCHMARK(BM_StringMeasure<SmithWatermanSimilarity>);
+
+void BM_JaccardWs(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  WhitespaceTokenizer tok;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(
+        JaccardSimilarity(tok.Tokenize(a), tok.Tokenize(b)));
+  }
+}
+BENCHMARK(BM_JaccardWs);
+
+void BM_JaccardQgram3(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  QgramTokenizer tok(3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(
+        JaccardSimilarity(tok.Tokenize(a), tok.Tokenize(b)));
+  }
+}
+BENCHMARK(BM_JaccardQgram3);
+
+void BM_MongeElkan(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  WhitespaceTokenizer tok;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(
+        MongeElkanSimilarity(tok.Tokenize(a), tok.Tokenize(b)));
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+// Tokenization alone, to separate its cost from the set measures.
+void BM_TokenizeWhitespace(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  WhitespaceTokenizer tok;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.Tokenize(pairs[i++ & 511].first));
+  }
+}
+BENCHMARK(BM_TokenizeWhitespace);
+
+void BM_TokenizeQgram3(benchmark::State& state) {
+  const auto& pairs = Pairs();
+  QgramTokenizer tok(3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.Tokenize(pairs[i++ & 511].first));
+  }
+}
+BENCHMARK(BM_TokenizeQgram3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// A2 — labeling-budget sensitivity. Labeling is the paper's costliest pain
+// point ("while labeling a small number of pairs seems trivial, in practice
+// it can take days"), and the team deliberately labeled in 100-pair
+// iterations, stopping at 300. This harness quantifies that decision: how
+// do the selected matcher and the final-workflow accuracy move as the
+// labeled budget grows from 100 to 500 pairs?
+
+#include <cstdio>
+
+#include "src/datagen/case_study.h"
+#include "src/eval/corleone_estimator.h"
+
+namespace {
+
+using namespace emx;
+
+int Run() {
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) return 1;
+  const Table& u = tables->umetrics;
+  const Table& s = tables->usda;
+  auto blocks = RunStandardBlocking(u, s);
+  if (!blocks.ok()) return 1;
+  OracleLabeler oracle = MakeOracle(data->gold, data->ambiguous);
+
+  std::printf("=== A2: labeling-budget sensitivity ===\n");
+  std::printf("%8s %10s %-20s %9s %9s %9s\n", "labels", "usable", "selected",
+              "precision", "recall", "F1");
+  for (size_t rounds = 1; rounds <= 5; ++rounds) {
+    LabeledSet labels =
+        CollectCorrectedLabels(oracle, blocks->c, rounds, 100, 100);
+    auto trained =
+        TrainBestMatcher(u, s, labels, PositiveRulesV1(), /*case_fix=*/true);
+    if (!trained.ok()) {
+      std::printf("%8zu  (training failed: %s)\n", labels.size(),
+                  trained.status().message().c_str());
+      continue;
+    }
+    EmWorkflow wf = BuildCaseStudyWorkflow(PositiveRulesV2(), *trained,
+                                           /*with_negative_rules=*/true);
+    auto run = wf.Run(u, s);
+    if (!run.ok()) continue;
+    GoldMetrics g =
+        ComputeGoldMetrics(run->final_matches, data->gold, data->ambiguous);
+    std::printf("%8zu %10zu %-20s %8.1f%% %8.1f%% %8.1f%%\n", labels.size(),
+                trained->train_data.size(),
+                trained->cv_results.front().matcher_name.c_str(),
+                g.Precision() * 100.0, g.Recall() * 100.0, g.F1() * 100.0);
+  }
+  std::printf(
+      "\n[the paper stopped at 300 labels; the curve shows the marginal "
+      "value of each additional 100-pair labeling session]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

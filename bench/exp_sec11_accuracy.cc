@@ -1,0 +1,119 @@
+// E8 — reproduces the §11 Corleone-style accuracy estimation: label a
+// random sample of the consolidated candidate set E = C1∪C2∪D1∪D2, then
+// estimate precision/recall of our matcher and of the production IRIS
+// matcher, first with 200 labeled pairs, then with 400.
+//
+// Paper values:
+//   200 labels: ours P(79.6, 86.0) R(96.8, 99.4); IRIS P(100,100) R(52.7, 62.1)
+//   400 labels: ours P(75.2, 80.3) R(98.1, 99.6); IRIS P(100,100) R(65.1, 71.8)
+//   (400 labels = 92 Yes / 292 No / 16 Unsure)
+
+#include <cstdio>
+
+#include "src/datagen/case_study.h"
+#include "src/datagen/iris_matcher.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/labeling/sampler.h"
+
+namespace {
+
+using namespace emx;
+
+void PrintEstimate(const char* who, const AccuracyEstimate& est,
+                   const char* paper) {
+  std::printf("%-14s precision %s  recall %s   %s\n", who,
+              est.precision.ToString().c_str(), est.recall.ToString().c_str(),
+              paper);
+}
+
+int Run() {
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) return 1;
+  const Table& u = tables->umetrics;
+  const Table& s = tables->usda;
+
+  const Table& extra = tables->extra;
+  const uint32_t off = static_cast<uint32_t>(u.num_rows());
+
+  // One oracle over both branches: the extra branch's pairs live at a
+  // left-index offset so the two Cartesian spaces stay disjoint.
+  CandidateSet gold_all =
+      CandidateSet::Union(data->gold, data->gold_extra.WithLeftOffset(off));
+  CandidateSet amb_all = CandidateSet::Union(
+      data->ambiguous, data->ambiguous_extra.WithLeftOffset(off));
+  OracleLabeler oracle = MakeOracle(gold_all, amb_all);
+
+  auto blocks = RunStandardBlocking(u, s);
+  if (!blocks.ok()) return 1;
+  LabeledSet train_labels =
+      CollectCorrectedLabels(oracle, blocks->c, 3, 100, 100);
+  auto trained = TrainBestMatcher(u, s, train_labels, PositiveRulesV1(),
+                                  /*case_fix=*/true);
+  if (!trained.ok()) return 1;
+
+  EmWorkflow wf = BuildCaseStudyWorkflow(PositiveRulesV2(), *trained,
+                                         /*with_negative_rules=*/false);
+  auto run = wf.Run(u, s);
+  auto run_extra = wf.Run(extra, s);
+  if (!run.ok() || !run_extra.ok()) return 1;
+  CandidateSet ours = CandidateSet::Union(
+      run->final_matches, run_extra->final_matches.WithLeftOffset(off));
+
+  // The IRIS baseline over both branches.
+  auto iris_orig = RunIrisMatcher(u, s);
+  auto iris_extra = RunIrisMatcher(extra, s);
+  if (!iris_orig.ok() || !iris_extra.ok()) return 1;
+  CandidateSet iris =
+      CandidateSet::Union(*iris_orig, iris_extra->WithLeftOffset(off));
+
+  // §11 step 1: the evaluation universe E = C1∪C2∪D1∪D2 must contain both
+  // systems' matches.
+  CandidateSet universe = CandidateSet::UnionAll(
+      {&run->candidates, &iris});
+  universe = CandidateSet::Union(universe,
+                                 run_extra->candidates.WithLeftOffset(off));
+
+  std::printf("=== E8: Section 11 accuracy estimation (Corleone sampling) ===\n");
+  std::printf("evaluation universe E: %zu pairs; our matches: %zu; IRIS "
+              "matches: %zu\n\n",
+              universe.size(), ours.size(), iris.size());
+
+  // 200-pair labeled sample, then extend to 400 (§11 steps 2-3).
+  LabeledSet eval_labels;
+  for (const RecordPair& p : SamplePairs(universe, 200, 4040, eval_labels)) {
+    eval_labels.SetLabel(p, oracle.CorrectedLabel(p));
+  }
+  auto ours200 = EstimateAccuracy(ours, eval_labels);
+  auto iris200 = EstimateAccuracy(iris, eval_labels);
+  std::printf("--- 200 labeled pairs ---\n");
+  PrintEstimate("our matcher", *ours200, "[P(79.6,86.0) R(96.8,99.4)]");
+  PrintEstimate("IRIS matcher", *iris200, "[P(100,100)   R(52.7,62.1)]");
+
+  for (const RecordPair& p : SamplePairs(universe, 200, 4041, eval_labels)) {
+    eval_labels.SetLabel(p, oracle.CorrectedLabel(p));
+  }
+  std::printf("\n--- 400 labeled pairs: %zu Yes / %zu No / %zu Unsure "
+              "[92/292/16] ---\n",
+              eval_labels.CountYes(), eval_labels.CountNo(),
+              eval_labels.CountUnsure());
+  auto ours400 = EstimateAccuracy(ours, eval_labels);
+  auto iris400 = EstimateAccuracy(iris, eval_labels);
+  PrintEstimate("our matcher", *ours400, "[P(75.2,80.3) R(98.1,99.6)]");
+  PrintEstimate("IRIS matcher", *iris400, "[P(100,100)   R(65.1,71.8)]");
+
+  // Ground truth (unavailable to the original study).
+  GoldMetrics ours_gold = ComputeGoldMetrics(ours, gold_all, amb_all);
+  GoldMetrics iris_gold = ComputeGoldMetrics(iris, gold_all, amb_all);
+  std::printf("\n--- exact values against the synthetic gold standard ---\n");
+  std::printf("our matcher:  P=%.1f%% R=%.1f%%\n", ours_gold.Precision() * 100.0,
+              ours_gold.Recall() * 100.0);
+  std::printf("IRIS matcher: P=%.1f%% R=%.1f%%\n",
+              iris_gold.Precision() * 100.0, iris_gold.Recall() * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

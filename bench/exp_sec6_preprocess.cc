@@ -1,0 +1,79 @@
+// E2 — reproduces the §6 pre-processing pipeline: key/foreign-key checks,
+// subsetting to the relevant tables, projection, renaming to the aligned
+// schema, the employee-name group-concat join, and RecordId assignment.
+// Output shapes: UMETRICSProjected 1336 rows, USDAProjected 1915 rows, with
+// the Figure 7 schemas.
+
+#include <cstdio>
+
+#include "src/datagen/preprocess.h"
+#include "src/datagen/universe.h"
+#include "src/table/table_ops.h"
+
+namespace {
+
+using namespace emx;
+
+int Run() {
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+
+  std::printf("=== E2: Section 6 pre-processing ===\n");
+
+  // §6 step 2: validate the keys the matching document names.
+  auto u_key = data->umetrics_award_agg.IsUniqueKey("UniqueAwardNumber");
+  auto s_key = data->usda.IsUniqueKey("AccessionNumber");
+  std::printf("UniqueAwardNumber is a key of UMETRICSAwardAggMatching: %s\n",
+              u_key.ok() && *u_key ? "yes" : "NO");
+  std::printf("AccessionNumber   is a key of USDAAwardMatching:        %s\n",
+              s_key.ok() && *s_key ? "yes" : "NO");
+  auto fk = data->umetrics_employees.IsForeignKeyInto(
+      "UniqueAwardNumber", data->umetrics_award_agg, "UniqueAwardNumber");
+  std::printf("Employees.UniqueAwardNumber ⊆ AwardAgg.UniqueAwardNumber:  "
+              "%s\n",
+              fk.ok() && *fk ? "yes" : "no (extra-batch awards join later)");
+
+  // §6 step 3: the vendor table's org columns share no values with the
+  // USDA recipient columns, so the table is dropped from matching.
+  auto vendor_orgs = data->umetrics_vendor.ColumnByName("OrgName");
+  auto usda_orgs = data->usda.ColumnByName("RecipientOrganization");
+  if (vendor_orgs.ok() && usda_orgs.ok()) {
+    size_t overlap = 0;
+    for (const Value& v : **vendor_orgs) {
+      if (v.is_null()) continue;
+      for (const Value& w : **usda_orgs) {
+        if (!w.is_null() && v == w) {
+          ++overlap;
+          break;
+        }
+      }
+      if (overlap > 0) break;
+    }
+    std::printf("Vendor.OrgName ∩ USDA.RecipientOrganization values: %s  "
+                "[none -> vendor table not useful for matching]\n",
+                overlap == 0 ? "none" : "SOME");
+  }
+
+  // §6 step 4: projection + rename + employee concat + ids.
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) {
+    std::fprintf(stderr, "preprocess: %s\n",
+                 tables.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nUMETRICSProjected: %zu rows x %zu cols  [1336 x 6]\n",
+              tables->umetrics.num_rows(), tables->umetrics.num_columns());
+  std::printf("USDAProjected:     %zu rows x %zu cols  [1915 x 7 (+ProjectNumber)]\n",
+              tables->usda.num_rows(), tables->usda.num_columns());
+  std::printf("ExtraProjected:    %zu rows x %zu cols  [496 x 6]\n\n",
+              tables->extra.num_rows(), tables->extra.num_columns());
+
+  std::printf("--- Figure 7 analogue: sample projected rows ---\n");
+  std::printf("%s\n", tables->umetrics.Preview(3).c_str());
+  std::printf("%s\n", tables->usda.Preview(3).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

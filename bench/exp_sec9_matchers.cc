@@ -1,0 +1,82 @@
+// E5 — reproduces the §9 matcher-selection story:
+//   * 5-fold cross-validation of six learning-based matchers on the labeled
+//     set (minus Unsure pairs and sure matches),
+//   * first with the automatically generated features (where case
+//     differences between the ALL-CAPS UMETRICS titles and Mixed-Case USDA
+//     titles hurt every string measure),
+//   * then after the debugging fix that adds case-insensitive features,
+//     where the paper reports the decision tree winning at P=97% R=95%
+//     F1=94.7%.
+
+#include <cstdio>
+
+#include "src/datagen/case_study.h"
+
+namespace {
+
+using namespace emx;
+
+void PrintCvTable(const std::vector<CvResult>& results) {
+  std::printf("%-22s %10s %10s %10s\n", "matcher", "precision", "recall",
+              "F1");
+  for (const CvResult& r : results) {
+    std::printf("%-22s %9.1f%% %9.1f%% %9.1f%%\n", r.matcher_name.c_str(),
+                r.mean_precision * 100.0, r.mean_recall * 100.0,
+                r.mean_f1 * 100.0);
+  }
+}
+
+int Run() {
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) return 1;
+  const Table& u = tables->umetrics;
+  const Table& s = tables->usda;
+
+  auto blocks = RunStandardBlocking(u, s);
+  if (!blocks.ok()) return 1;
+
+  OracleLabeler oracle = MakeOracle(data->gold, data->ambiguous);
+  LabeledSet labels =
+      CollectCorrectedLabels(oracle, blocks->c, /*rounds=*/3,
+                             /*per_round=*/100, /*seed=*/100);
+  std::printf("=== E5: Section 9 matcher selection ===\n");
+  std::printf("labeled pairs: %zu = %zu Yes / %zu No / %zu Unsure  "
+              "[300 = 68/200/32]\n\n",
+              labels.size(), labels.CountYes(), labels.CountNo(),
+              labels.CountUnsure());
+
+  std::printf("--- before the case fix (auto-generated features only) ---\n");
+  auto before = TrainBestMatcher(u, s, labels, PositiveRulesV1(),
+                                 /*case_fix=*/false);
+  if (!before.ok()) {
+    std::fprintf(stderr, "train: %s\n", before.status().ToString().c_str());
+    return 1;
+  }
+  PrintCvTable(before->cv_results);
+  std::printf("best: %s (F1 %.1f%%)\n\n",
+              before->cv_results.front().matcher_name.c_str(),
+              before->cv_results.front().mean_f1 * 100.0);
+
+  std::printf(
+      "--- after the case fix (lowercase title/name features added) ---\n");
+  auto after = TrainBestMatcher(u, s, labels, PositiveRulesV1(),
+                                /*case_fix=*/true);
+  if (!after.ok()) {
+    std::fprintf(stderr, "train: %s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  PrintCvTable(after->cv_results);
+  std::printf("best: %s (F1 %.1f%%)  [decision tree, P=97%% R=95%% F1=94.7%%]\n",
+              after->cv_results.front().matcher_name.c_str(),
+              after->cv_results.front().mean_f1 * 100.0);
+  std::printf("features: %zu before fix, %zu after fix\n",
+              before->features.features.size(),
+              after->features.features.size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

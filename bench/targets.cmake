@@ -1,0 +1,31 @@
+# Experiment harnesses (one per paper table/figure) and perf benches.
+# All binaries land in build/bench/ and run standalone with no arguments.
+
+function(emx_add_experiment name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE emx_datagen emx_eval)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+emx_add_experiment(exp_sec7_blocking)
+emx_add_experiment(exp_sec9_matchers)
+emx_add_experiment(exp_sec9_workflow_v1)
+emx_add_experiment(exp_sec10_workflow_v2)
+emx_add_experiment(exp_sec11_accuracy)
+emx_add_experiment(exp_sec12_negative_rules)
+emx_add_experiment(exp_fig2_tables)
+emx_add_experiment(exp_sec6_preprocess)
+emx_add_experiment(exp_sec8_labeling)
+
+function(emx_add_gbench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE emx_datagen emx_eval benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+emx_add_gbench(bench_similarity)
+emx_add_gbench(bench_blocking)
+emx_add_gbench(bench_matchers)
+emx_add_experiment(exp_sec10_clusters)
+emx_add_experiment(exp_ablation_features)
+emx_add_experiment(exp_label_budget)

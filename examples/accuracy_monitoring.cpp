@@ -1,0 +1,98 @@
+// Production accuracy monitoring (§12 "The Next Steps", footnote 11).
+//
+// After the workflow ships, new data slices keep arriving; this example
+// simulates the production loop the paper sketches: run the packaged
+// workflow on each incoming slice, sample its predicted matches, label the
+// sample (here: the domain-expert oracle), and track estimated precision.
+// A mid-stream data-quality regression (a batch whose award numbers were
+// corrupted upstream) trips the monitor's alert — the signal to "move back
+// to the development stage and update the EM workflow".
+//
+// Run:  ./build/examples/accuracy_monitoring
+
+#include <cstdio>
+
+#include "src/datagen/case_study.h"
+#include "src/eval/accuracy_monitor.h"
+
+using namespace emx;
+
+int main() {
+  // Build and "package" the workflow once (development stage).
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) return 1;
+  const Table& u = tables->umetrics;
+  const Table& s = tables->usda;
+  auto blocks = RunStandardBlocking(u, s);
+  if (!blocks.ok()) return 1;
+  OracleLabeler oracle = MakeOracle(data->gold, data->ambiguous);
+  LabeledSet labels = CollectCorrectedLabels(oracle, blocks->c, 3, 100, 100);
+  auto trained =
+      TrainBestMatcher(u, s, labels, PositiveRulesV1(), /*case_fix=*/true);
+  if (!trained.ok()) return 1;
+  EmWorkflow wf = BuildCaseStudyWorkflow(PositiveRulesV2(), *trained,
+                                         /*with_negative_rules=*/true);
+
+  // Production: the monitor labels samples through the domain experts.
+  AccuracyMonitor monitor({.sample_size = 60, .precision_alert = 0.9},
+                          [&](const RecordPair& p) {
+                            return oracle.CorrectedLabel(p);
+                          });
+
+  // Slice 1-2: healthy data (different seeds simulate different slices).
+  for (uint64_t seed : {3001ULL, 3002ULL}) {
+    UniverseOptions opts;
+    opts.seed = seed;
+    auto slice = GenerateCaseStudy(opts);
+    if (!slice.ok()) return 1;
+    auto slice_tables = PreprocessCaseStudy(*slice);
+    if (!slice_tables.ok()) return 1;
+    auto run = wf.Run(slice_tables->umetrics, slice_tables->usda);
+    if (!run.ok()) return 1;
+    OracleLabeler slice_oracle = MakeOracle(slice->gold, slice->ambiguous);
+    AccuracyMonitor::Labeler labeler = [&](const RecordPair& p) {
+      return slice_oracle.CorrectedLabel(p);
+    };
+    AccuracyMonitor slice_monitor({.sample_size = 60, .precision_alert = 0.9},
+                                  labeler);
+    auto report = slice_monitor.Observe(run->final_matches);
+    if (!report.ok()) return 1;
+    std::printf("slice %llu: %zu matches, precision %.3f %s %s\n",
+                static_cast<unsigned long long>(seed),
+                run->final_matches.size(), report->precision.point,
+                report->precision.ToString().c_str(),
+                report->alert ? "[ALERT]" : "[ok]");
+  }
+
+  // Slice 3: degraded data — upstream corrupted the award numbers, so the
+  // sure-match rules misfire and ML carries everything. Simulate by
+  // disabling the data's number evidence: a universe where the M1/M4
+  // groups are empty (all matching must ride on titles).
+  UniverseOptions degraded;
+  degraded.seed = 3003;
+  degraded.m1_group = 0;
+  degraded.m4_group = 0;
+  degraded.title_group = 650;
+  degraded.typo_group = 30;
+  degraded.sibling_rows = 450;  // and the sibling load grew
+  auto bad = GenerateCaseStudy(degraded);
+  if (!bad.ok()) return 1;
+  auto bad_tables = PreprocessCaseStudy(*bad);
+  if (!bad_tables.ok()) return 1;
+  auto run = wf.Run(bad_tables->umetrics, bad_tables->usda);
+  if (!run.ok()) return 1;
+  OracleLabeler bad_oracle = MakeOracle(bad->gold, bad->ambiguous);
+  AccuracyMonitor bad_monitor({.sample_size = 60, .precision_alert = 0.9},
+                              [&](const RecordPair& p) {
+                                return bad_oracle.CorrectedLabel(p);
+                              });
+  auto report = bad_monitor.Observe(run->final_matches);
+  if (!report.ok()) return 1;
+  std::printf("slice 3003 (degraded): %zu matches, precision %.3f %s %s\n",
+              run->final_matches.size(), report->precision.point,
+              report->precision.ToString().c_str(),
+              report->alert ? "[ALERT -> back to development]" : "[ok]");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef EMX_BLOCK_ATTR_EQUIVALENCE_BLOCKER_H_
+#define EMX_BLOCK_ATTR_EQUIVALENCE_BLOCKER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/block/blocker.h"
+
+namespace emx {
+
+// Attribute-equivalence (AE) blocker: a pair survives iff the (transformed)
+// blocking attributes of both records are equal and non-null (§7 step 1).
+//
+// The paper's M1 rule compares the *suffix* of the UMETRICS award number
+// with the full USDA award number; rather than materializing a temporary
+// column the way the authors did, each side takes an optional transform
+// applied to the attribute value before comparison.
+class AttrEquivalenceBlocker : public Blocker {
+ public:
+  using Transform = std::function<std::string(const std::string&)>;
+
+  AttrEquivalenceBlocker(std::string left_attr, std::string right_attr,
+                         Transform left_transform = nullptr,
+                         Transform right_transform = nullptr);
+
+  Result<CandidateSet> Block(const Table& left,
+                             const Table& right) const override;
+
+  std::string name() const override {
+    return "ae(" + left_attr_ + "=" + right_attr_ + ")";
+  }
+
+ private:
+  std::string left_attr_;
+  std::string right_attr_;
+  Transform left_transform_;
+  Transform right_transform_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_BLOCK_ATTR_EQUIVALENCE_BLOCKER_H_

@@ -1,0 +1,18 @@
+#include "src/block/blocker.h"
+
+#include <algorithm>
+
+namespace emx {
+
+Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table) {
+  EMX_ASSIGN_OR_RETURN(CandidateSet raw, blocker.Block(table, table));
+  std::vector<RecordPair> out;
+  out.reserve(raw.size() / 2);
+  for (const RecordPair& p : raw) {
+    if (p.left == p.right) continue;  // a record trivially matches itself
+    out.push_back({std::min(p.left, p.right), std::max(p.left, p.right)});
+  }
+  return CandidateSet(std::move(out));
+}
+
+}  // namespace emx

@@ -1,0 +1,34 @@
+#ifndef EMX_BLOCK_BLOCKER_H_
+#define EMX_BLOCK_BLOCKER_H_
+
+#include <string>
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// A blocker consumes two tables and emits the candidate pairs that survive
+// its heuristic (everything it drops is presumed a non-match). Workflows
+// union the outputs of several blockers (paper §7).
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  virtual Result<CandidateSet> Block(const Table& left,
+                                     const Table& right) const = 0;
+
+  // Human-readable description for provenance/logging.
+  virtual std::string name() const = 0;
+};
+
+// Single-table deduplication support (the "matching tuples within a single
+// table" scenario of §2): runs `blocker` with the table on both sides and
+// canonicalizes the output — self-pairs (i,i) are dropped and each
+// unordered pair is kept once as (min, max).
+Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table);
+
+}  // namespace emx
+
+#endif  // EMX_BLOCK_BLOCKER_H_

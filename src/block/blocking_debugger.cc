@@ -1,0 +1,101 @@
+#include "src/block/blocking_debugger.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/core/strings.h"
+#include "src/text/sequence_similarity.h"
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace emx {
+
+namespace {
+
+struct RecordFeatures {
+  std::string raw;
+  std::vector<std::string> words;
+  std::vector<std::string> qgrams;
+};
+
+std::vector<RecordFeatures> Precompute(const std::vector<Value>& col,
+                                       bool lowercase) {
+  WhitespaceTokenizer ws;
+  QgramTokenizer qg(3);
+  std::vector<RecordFeatures> out;
+  out.reserve(col.size());
+  for (const Value& v : col) {
+    RecordFeatures f;
+    if (!v.is_null()) {
+      f.raw = v.AsString();
+      if (lowercase) f.raw = AsciiToLower(f.raw);
+      f.words = ws.Tokenize(f.raw);
+      f.qgrams = qg.Tokenize(f.raw);
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+double ScorePair(const RecordFeatures& a, const RecordFeatures& b) {
+  if (a.raw.empty() || b.raw.empty()) return 0.0;
+  double s = JaccardSimilarity(a.words, b.words) +
+             JaccardSimilarity(a.qgrams, b.qgrams) +
+             JaroWinklerSimilarity(a.raw, b.raw);
+  return s / 3.0;
+}
+
+}  // namespace
+
+Result<std::vector<DebuggerFinding>> DebugBlocking(
+    const Table& left, const Table& right, const CandidateSet& candidates,
+    const BlockingDebuggerOptions& options) {
+  if (options.attrs.empty()) {
+    return Status::InvalidArgument("DebugBlocking: no attributes configured");
+  }
+  std::vector<std::vector<RecordFeatures>> lfeat, rfeat;
+  for (const auto& [la, ra] : options.attrs) {
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol, left.ColumnByName(la));
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                         right.ColumnByName(ra));
+    lfeat.push_back(Precompute(*lcol, options.lowercase));
+    rfeat.push_back(Precompute(*rcol, options.lowercase));
+  }
+
+  // Min-heap of the best `top_k` findings seen so far.
+  auto cmp = [](const DebuggerFinding& a, const DebuggerFinding& b) {
+    return a.score > b.score;
+  };
+  std::priority_queue<DebuggerFinding, std::vector<DebuggerFinding>,
+                      decltype(cmp)>
+      heap(cmp);
+
+  for (uint32_t l = 0; l < left.num_rows(); ++l) {
+    for (uint32_t r = 0; r < right.num_rows(); ++r) {
+      RecordPair p{l, r};
+      if (candidates.Contains(p)) continue;
+      double sum = 0.0;
+      for (size_t a = 0; a < lfeat.size(); ++a) {
+        sum += ScorePair(lfeat[a][l], rfeat[a][r]);
+      }
+      double score = sum / static_cast<double>(lfeat.size());
+      if (heap.size() < options.top_k) {
+        heap.push({p, score});
+      } else if (score > heap.top().score) {
+        heap.pop();
+        heap.push({p, score});
+      }
+    }
+  }
+
+  std::vector<DebuggerFinding> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());  // descending by score
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,60 @@
+#include "src/block/candidate_set.h"
+
+#include <algorithm>
+
+namespace emx {
+
+CandidateSet::CandidateSet(std::vector<RecordPair> pairs)
+    : pairs_(std::move(pairs)) {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool CandidateSet::Contains(const RecordPair& p) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), p);
+}
+
+CandidateSet CandidateSet::Union(const CandidateSet& a, const CandidateSet& b) {
+  CandidateSet out;
+  out.pairs_.reserve(a.size() + b.size());
+  std::set_union(a.pairs_.begin(), a.pairs_.end(), b.pairs_.begin(),
+                 b.pairs_.end(), std::back_inserter(out.pairs_));
+  return out;
+}
+
+CandidateSet CandidateSet::Minus(const CandidateSet& a, const CandidateSet& b) {
+  CandidateSet out;
+  out.pairs_.reserve(a.size());
+  std::set_difference(a.pairs_.begin(), a.pairs_.end(), b.pairs_.begin(),
+                      b.pairs_.end(), std::back_inserter(out.pairs_));
+  return out;
+}
+
+CandidateSet CandidateSet::Intersect(const CandidateSet& a,
+                                     const CandidateSet& b) {
+  CandidateSet out;
+  std::set_intersection(a.pairs_.begin(), a.pairs_.end(), b.pairs_.begin(),
+                        b.pairs_.end(), std::back_inserter(out.pairs_));
+  return out;
+}
+
+CandidateSet CandidateSet::WithLeftOffset(uint32_t left_offset) const {
+  CandidateSet out;
+  out.pairs_.reserve(pairs_.size());
+  for (const RecordPair& p : pairs_) {
+    out.pairs_.push_back({p.left + left_offset, p.right});
+  }
+  // Adding a constant to sorted keys preserves order and uniqueness.
+  return out;
+}
+
+CandidateSet CandidateSet::UnionAll(
+    const std::vector<const CandidateSet*>& sets) {
+  CandidateSet out;
+  for (const CandidateSet* s : sets) {
+    out = Union(out, *s);
+  }
+  return out;
+}
+
+}  // namespace emx

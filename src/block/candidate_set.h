@@ -1,0 +1,68 @@
+#ifndef EMX_BLOCK_CANDIDATE_SET_H_
+#define EMX_BLOCK_CANDIDATE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emx {
+
+// A pair of row indices (left table row, right table row).
+struct RecordPair {
+  uint32_t left;
+  uint32_t right;
+
+  friend bool operator==(const RecordPair& a, const RecordPair& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+  friend bool operator<(const RecordPair& a, const RecordPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  }
+};
+
+// The output of blocking: a deduplicated, sorted set of candidate record
+// pairs supporting the set algebra the paper's workflows need (C1 ∪ C2 ∪ C3,
+// C2 − C1, |C2 ∩ C3|, ...).
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  // Builds from arbitrary pairs; sorts and deduplicates.
+  explicit CandidateSet(std::vector<RecordPair> pairs);
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<RecordPair>& pairs() const { return pairs_; }
+  const RecordPair& operator[](size_t i) const { return pairs_[i]; }
+
+  // Binary search membership test.
+  bool Contains(const RecordPair& p) const;
+
+  // Set algebra; all O(|a| + |b|).
+  static CandidateSet Union(const CandidateSet& a, const CandidateSet& b);
+  static CandidateSet Minus(const CandidateSet& a, const CandidateSet& b);
+  static CandidateSet Intersect(const CandidateSet& a, const CandidateSet& b);
+
+  // Variadic union convenience.
+  static CandidateSet UnionAll(const std::vector<const CandidateSet*>& sets);
+
+  // Copy with `left_offset` added to every left index — used to place two
+  // branches (e.g. original and extra left tables against the same right
+  // table) into one disjoint evaluation universe.
+  CandidateSet WithLeftOffset(uint32_t left_offset) const;
+
+  bool operator==(const CandidateSet& other) const {
+    return pairs_ == other.pairs_;
+  }
+
+  auto begin() const { return pairs_.begin(); }
+  auto end() const { return pairs_.end(); }
+
+ private:
+  std::vector<RecordPair> pairs_;  // sorted, unique
+};
+
+}  // namespace emx
+
+#endif  // EMX_BLOCK_CANDIDATE_SET_H_

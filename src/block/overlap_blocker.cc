@@ -1,0 +1,132 @@
+#include "src/block/overlap_blocker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+namespace internal_block {
+
+std::vector<std::vector<std::string>> TokenizeColumn(
+    const std::vector<Value>& column, const OverlapBlockerOptions& options,
+    const Tokenizer& tokenizer) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(column.size());
+  for (const Value& v : column) {
+    if (v.is_null()) {
+      out.emplace_back();
+      continue;
+    }
+    std::string s = v.AsString();
+    if (options.lowercase) s = AsciiToLower(s);
+    if (options.strip_punctuation) s = StripPunctuation(s);
+    out.push_back(tokenizer.Tokenize(s));
+  }
+  return out;
+}
+
+namespace {
+
+// Builds token -> list of right-record ids.
+std::unordered_map<std::string, std::vector<uint32_t>> BuildInvertedIndex(
+    const std::vector<std::vector<std::string>>& right_tokens) {
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  for (size_t r = 0; r < right_tokens.size(); ++r) {
+    for (const auto& t : right_tokens[r]) {
+      index[t].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+// Shared core: for every left record, counts shared tokens with each right
+// record via the inverted index, then keeps pairs passing `keep`.
+template <typename KeepFn>
+CandidateSet OverlapJoin(
+    const std::vector<std::vector<std::string>>& left_tokens,
+    const std::vector<std::vector<std::string>>& right_tokens,
+    const KeepFn& keep) {
+  auto index = BuildInvertedIndex(right_tokens);
+  std::vector<RecordPair> pairs;
+  std::unordered_map<uint32_t, size_t> counts;
+  for (size_t l = 0; l < left_tokens.size(); ++l) {
+    counts.clear();
+    for (const auto& t : left_tokens[l]) {
+      auto it = index.find(t);
+      if (it == index.end()) continue;
+      for (uint32_t r : it->second) ++counts[r];
+    }
+    for (const auto& [r, overlap] : counts) {
+      if (keep(left_tokens[l].size(), right_tokens[r].size(), overlap)) {
+        pairs.push_back({static_cast<uint32_t>(l), r});
+      }
+    }
+  }
+  return CandidateSet(std::move(pairs));
+}
+
+}  // namespace internal_block
+
+OverlapBlocker::OverlapBlocker(OverlapBlockerOptions options,
+                               size_t min_overlap,
+                               std::shared_ptr<Tokenizer> tokenizer)
+    : options_(std::move(options)),
+      min_overlap_(min_overlap),
+      tokenizer_(tokenizer ? std::move(tokenizer)
+                           : std::make_shared<WhitespaceTokenizer>()) {}
+
+Result<CandidateSet> OverlapBlocker::Block(const Table& left,
+                                           const Table& right) const {
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                       left.ColumnByName(options_.left_attr));
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                       right.ColumnByName(options_.right_attr));
+  auto lt = internal_block::TokenizeColumn(*lcol, options_, *tokenizer_);
+  auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
+  size_t k = min_overlap_;
+  return internal_block::OverlapJoin(
+      lt, rt, [k](size_t, size_t, size_t overlap) { return overlap >= k; });
+}
+
+std::string OverlapBlocker::name() const {
+  return "overlap(" + options_.left_attr + "," + tokenizer_->name() +
+         ",K=" + std::to_string(min_overlap_) + ")";
+}
+
+OverlapCoefficientBlocker::OverlapCoefficientBlocker(
+    OverlapBlockerOptions options, double threshold,
+    std::shared_ptr<Tokenizer> tokenizer)
+    : options_(std::move(options)),
+      threshold_(threshold),
+      tokenizer_(tokenizer ? std::move(tokenizer)
+                           : std::make_shared<WhitespaceTokenizer>()) {}
+
+Result<CandidateSet> OverlapCoefficientBlocker::Block(
+    const Table& left, const Table& right) const {
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                       left.ColumnByName(options_.left_attr));
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                       right.ColumnByName(options_.right_attr));
+  auto lt = internal_block::TokenizeColumn(*lcol, options_, *tokenizer_);
+  auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
+  double t = threshold_;
+  return internal_block::OverlapJoin(
+      lt, rt, [t](size_t la, size_t lb, size_t overlap) {
+        size_t mn = std::min(la, lb);
+        if (mn == 0) return false;
+        return static_cast<double>(overlap) >= t * static_cast<double>(mn);
+      });
+}
+
+std::string OverlapCoefficientBlocker::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", threshold_);
+  return "overlap_coeff(" + options_.left_attr + "," + tokenizer_->name() +
+         ",t=" + buf + ")";
+}
+
+}  // namespace emx

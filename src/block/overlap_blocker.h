@@ -1,0 +1,75 @@
+#ifndef EMX_BLOCK_OVERLAP_BLOCKER_H_
+#define EMX_BLOCK_OVERLAP_BLOCKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/blocker.h"
+#include "src/text/tokenizer.h"
+
+namespace emx {
+
+// Shared options for token-overlap-style blockers: which attribute to
+// tokenize and how to normalize it first (the paper lowercases and strips
+// special characters before overlap blocking, §7 steps 2-3).
+struct OverlapBlockerOptions {
+  std::string left_attr;
+  std::string right_attr;
+  bool lowercase = true;
+  bool strip_punctuation = true;
+};
+
+// Overlap blocker: a pair survives iff its token sets share at least
+// `min_overlap` tokens (§7 step 2, threshold K; K=3 in the paper).
+//
+// Implementation: inverted index over the right table's tokens; left
+// records accumulate per-right-record overlap counts touching only records
+// that share at least one token — never the full Cartesian product.
+class OverlapBlocker : public Blocker {
+ public:
+  OverlapBlocker(OverlapBlockerOptions options, size_t min_overlap,
+                 std::shared_ptr<Tokenizer> tokenizer = nullptr);
+
+  Result<CandidateSet> Block(const Table& left,
+                             const Table& right) const override;
+
+  std::string name() const override;
+
+ private:
+  OverlapBlockerOptions options_;
+  size_t min_overlap_;
+  std::shared_ptr<Tokenizer> tokenizer_;  // defaults to WhitespaceTokenizer
+};
+
+// Overlap-coefficient blocker: survives iff
+// |A ∩ B| / min(|A|, |B|) >= threshold (§7 step 3; 0.7 in the paper).
+// Unlike the raw-overlap blocker this admits very short titles.
+class OverlapCoefficientBlocker : public Blocker {
+ public:
+  OverlapCoefficientBlocker(OverlapBlockerOptions options, double threshold,
+                            std::shared_ptr<Tokenizer> tokenizer = nullptr);
+
+  Result<CandidateSet> Block(const Table& left,
+                             const Table& right) const override;
+
+  std::string name() const override;
+
+ private:
+  OverlapBlockerOptions options_;
+  double threshold_;
+  std::shared_ptr<Tokenizer> tokenizer_;
+};
+
+namespace internal_block {
+
+// Normalizes and tokenizes every value of `column` according to `options`.
+std::vector<std::vector<std::string>> TokenizeColumn(
+    const std::vector<Value>& column, const OverlapBlockerOptions& options,
+    const Tokenizer& tokenizer);
+
+}  // namespace internal_block
+
+}  // namespace emx
+
+#endif  // EMX_BLOCK_OVERLAP_BLOCKER_H_

@@ -1,0 +1,26 @@
+#include "src/block/rule_blocker.h"
+
+#include <utility>
+#include <vector>
+
+namespace emx {
+
+RuleBlocker::RuleBlocker(std::string rule_name, Predicate keep)
+    : rule_name_(std::move(rule_name)), keep_(std::move(keep)) {}
+
+Result<CandidateSet> RuleBlocker::Block(const Table& left,
+                                        const Table& right) const {
+  if (!keep_) return Status::InvalidArgument("RuleBlocker has no predicate");
+  std::vector<RecordPair> pairs;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (keep_(left, l, right, r)) {
+        pairs.push_back(
+            {static_cast<uint32_t>(l), static_cast<uint32_t>(r)});
+      }
+    }
+  }
+  return CandidateSet(std::move(pairs));
+}
+
+}  // namespace emx

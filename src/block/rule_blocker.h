@@ -1,0 +1,35 @@
+#ifndef EMX_BLOCK_RULE_BLOCKER_H_
+#define EMX_BLOCK_RULE_BLOCKER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/block/blocker.h"
+
+namespace emx {
+
+// Black-box blocker: a pair survives iff the user predicate returns true.
+// Evaluated over the full Cartesian product, so use it for rules too
+// irregular for the indexed blockers (or on small tables). PyMatcher's
+// "rule-based blocker" and "black-box blocker" collapse to this in C++,
+// where the rule is simply a callable.
+class RuleBlocker : public Blocker {
+ public:
+  using Predicate = std::function<bool(const Table& left, size_t left_row,
+                                       const Table& right, size_t right_row)>;
+
+  RuleBlocker(std::string rule_name, Predicate keep);
+
+  Result<CandidateSet> Block(const Table& left,
+                             const Table& right) const override;
+
+  std::string name() const override { return "rule(" + rule_name_ + ")"; }
+
+ private:
+  std::string rule_name_;
+  Predicate keep_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_BLOCK_RULE_BLOCKER_H_

@@ -1,0 +1,150 @@
+#include "src/block/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/strings.h"
+#include "src/text/set_similarity.h"
+
+namespace emx {
+
+JaccardJoinBlocker::JaccardJoinBlocker(OverlapBlockerOptions options,
+                                       double threshold,
+                                       std::shared_ptr<Tokenizer> tokenizer)
+    : options_(std::move(options)),
+      threshold_(threshold),
+      tokenizer_(tokenizer ? std::move(tokenizer)
+                           : std::make_shared<WhitespaceTokenizer>()) {}
+
+Result<CandidateSet> JaccardJoinBlocker::Block(const Table& left,
+                                               const Table& right) const {
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                       left.ColumnByName(options_.left_attr));
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                       right.ColumnByName(options_.right_attr));
+  auto lt = internal_block::TokenizeColumn(*lcol, options_, *tokenizer_);
+  auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
+
+  // Global token frequency over both sides; prefixes are ordered
+  // rarest-first so they discriminate maximally.
+  std::unordered_map<std::string, size_t> freq;
+  for (const auto& tokens : lt) {
+    for (const auto& t : tokens) ++freq[t];
+  }
+  for (const auto& tokens : rt) {
+    for (const auto& t : tokens) ++freq[t];
+  }
+  auto order_tokens = [&freq](std::vector<std::string>& tokens) {
+    std::sort(tokens.begin(), tokens.end(),
+              [&freq](const std::string& a, const std::string& b) {
+                size_t fa = freq[a], fb = freq[b];
+                if (fa != fb) return fa < fb;
+                return a < b;
+              });
+  };
+  for (auto& tokens : lt) order_tokens(tokens);
+  for (auto& tokens : rt) order_tokens(tokens);
+
+  // Prefix length for jaccard t and set size s: s - ceil(t*s) + 1.
+  auto prefix_len = [this](size_t s) -> size_t {
+    if (s == 0) return 0;
+    size_t need = static_cast<size_t>(
+        std::ceil(threshold_ * static_cast<double>(s)));
+    return s - need + 1;
+  };
+
+  // Index the right side's prefixes.
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  for (size_t r = 0; r < rt.size(); ++r) {
+    size_t p = prefix_len(rt[r].size());
+    for (size_t i = 0; i < p; ++i) {
+      index[rt[r][i]].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Probe with left prefixes; verify candidates exactly.
+  last_verified_ = 0;
+  std::vector<RecordPair> out;
+  std::unordered_set<uint32_t> seen;
+  for (size_t l = 0; l < lt.size(); ++l) {
+    seen.clear();
+    size_t p = prefix_len(lt[l].size());
+    for (size_t i = 0; i < p; ++i) {
+      auto it = index.find(lt[l][i]);
+      if (it == index.end()) continue;
+      for (uint32_t r : it->second) {
+        if (!seen.insert(r).second) continue;
+        // Size filter: |x|·t <= |y| <= |x|/t is necessary for jaccard >= t.
+        double ls = static_cast<double>(lt[l].size());
+        double rs = static_cast<double>(rt[r].size());
+        if (rs < ls * threshold_ || rs > ls / threshold_) continue;
+        ++last_verified_;
+        if (JaccardSimilarity(lt[l], rt[r]) >= threshold_) {
+          out.push_back({static_cast<uint32_t>(l), r});
+        }
+      }
+    }
+  }
+  return CandidateSet(std::move(out));
+}
+
+std::string JaccardJoinBlocker::name() const {
+  return StrFormat("jaccard_join(%s,t=%.2f)", options_.left_attr.c_str(),
+                   threshold_);
+}
+
+SortedNeighborhoodBlocker::SortedNeighborhoodBlocker(std::string left_attr,
+                                                     std::string right_attr,
+                                                     size_t window,
+                                                     bool lowercase)
+    : left_attr_(std::move(left_attr)),
+      right_attr_(std::move(right_attr)),
+      window_(window == 0 ? 1 : window),
+      lowercase_(lowercase) {}
+
+Result<CandidateSet> SortedNeighborhoodBlocker::Block(
+    const Table& left, const Table& right) const {
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                       left.ColumnByName(left_attr_));
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                       right.ColumnByName(right_attr_));
+
+  struct Entry {
+    std::string key;
+    uint32_t row;
+    bool from_left;
+  };
+  std::vector<Entry> merged;
+  merged.reserve(lcol->size() + rcol->size());
+  auto add = [&](const std::vector<Value>& col, bool from_left) {
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (col[i].is_null()) continue;
+      std::string key = col[i].AsString();
+      if (lowercase_) key = AsciiToLower(key);
+      merged.push_back({std::move(key), static_cast<uint32_t>(i), from_left});
+    }
+  };
+  add(*lcol, true);
+  add(*rcol, false);
+  std::sort(merged.begin(), merged.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.from_left != b.from_left) return a.from_left;
+    return a.row < b.row;
+  });
+
+  std::vector<RecordPair> out;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    size_t hi = std::min(merged.size(), i + window_);
+    for (size_t j = i + 1; j < hi; ++j) {
+      if (merged[i].from_left == merged[j].from_left) continue;
+      const Entry& l = merged[i].from_left ? merged[i] : merged[j];
+      const Entry& r = merged[i].from_left ? merged[j] : merged[i];
+      out.push_back({l.row, r.row});
+    }
+  }
+  return CandidateSet(std::move(out));
+}
+
+}  // namespace emx

@@ -1,0 +1,356 @@
+#include "src/cli/cli.h"
+
+#include <map>
+#include <memory>
+
+#include "src/block/attr_equivalence_blocker.h"
+#include "src/block/overlap_blocker.h"
+#include "src/block/similarity_join.h"
+#include "src/core/strings.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/vectorizer.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear_regression.h"
+#include "src/ml/linear_svm.h"
+#include "src/ml/logistic_regression.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/random_forest.h"
+#include "src/table/csv.h"
+#include "src/table/profile.h"
+
+namespace emx {
+
+namespace {
+
+// --- argument handling -------------------------------------------------------
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --key=value
+
+  std::string Flag(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args ParseArgs(const std::vector<std::string>& argv, size_t start) {
+  Args out;
+  for (size_t i = start; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      size_t eq = a.find('=');
+      if (eq == std::string::npos) {
+        out.flags[a.substr(2)] = "true";
+      } else {
+        out.flags[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+int Fail(std::string& err, const std::string& message) {
+  err += message;
+  err += '\n';
+  return 1;
+}
+
+// --- pair CSV I/O ---------------------------------------------------------------
+
+Status WritePairsCsv(const CandidateSet& pairs, const std::string& path) {
+  Table t(Schema({{"left_id", DataType::kInt64},
+                  {"right_id", DataType::kInt64}}));
+  for (const RecordPair& p : pairs) {
+    EMX_RETURN_IF_ERROR(t.AppendRow({Value(static_cast<int64_t>(p.left)),
+                                     Value(static_cast<int64_t>(p.right))}));
+  }
+  return WriteCsvFile(t, path);
+}
+
+Result<CandidateSet> ReadPairsCsv(const std::string& path) {
+  EMX_ASSIGN_OR_RETURN(Table t, ReadCsvFile(path));
+  if (!t.schema().Contains("left_id") || !t.schema().Contains("right_id")) {
+    return Status::InvalidArgument(path +
+                                   ": expected left_id,right_id columns");
+  }
+  std::vector<RecordPair> pairs;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    pairs.push_back(
+        {static_cast<uint32_t>(t.at(r, "left_id").AsInt()),
+         static_cast<uint32_t>(t.at(r, "right_id").AsInt())});
+  }
+  return CandidateSet(std::move(pairs));
+}
+
+Result<LabeledSet> ReadLabelsCsv(const std::string& path) {
+  EMX_ASSIGN_OR_RETURN(Table t, ReadCsvFile(path));
+  for (const char* col : {"left_id", "right_id", "label"}) {
+    if (!t.schema().Contains(col)) {
+      return Status::InvalidArgument(
+          path + ": expected left_id,right_id,label columns");
+    }
+  }
+  LabeledSet out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string raw = AsciiToLower(t.at(r, "label").AsString());
+    Label label;
+    if (raw == "yes" || raw == "1" || raw == "match") {
+      label = Label::kYes;
+    } else if (raw == "no" || raw == "0" || raw == "nonmatch") {
+      label = Label::kNo;
+    } else if (raw == "unsure" || raw == "?") {
+      label = Label::kUnsure;
+    } else {
+      return Status::ParseError(path + ": bad label '" + raw + "' in row " +
+                                std::to_string(r));
+    }
+    out.SetLabel({static_cast<uint32_t>(t.at(r, "left_id").AsInt()),
+                  static_cast<uint32_t>(t.at(r, "right_id").AsInt())},
+                 label);
+  }
+  return out;
+}
+
+// --- subcommands -----------------------------------------------------------------
+
+int CmdProfile(const Args& args, std::string& out, std::string& err) {
+  if (args.positional.size() != 1) {
+    return Fail(err, "usage: emx profile <table.csv>");
+  }
+  auto table = ReadCsvFile(args.positional[0]);
+  if (!table.ok()) return Fail(err, table.status().ToString());
+  out += ProfileTable(*table).ToString();
+  return 0;
+}
+
+int CmdBlock(const Args& args, std::string& out, std::string& err) {
+  if (args.positional.size() != 2) {
+    return Fail(err, "usage: emx block <left.csv> <right.csv> --method=... "
+                     "--left-attr=... --out=...");
+  }
+  auto left = ReadCsvFile(args.positional[0]);
+  if (!left.ok()) return Fail(err, left.status().ToString());
+  auto right = ReadCsvFile(args.positional[1]);
+  if (!right.ok()) return Fail(err, right.status().ToString());
+
+  std::string left_attr = args.Flag("left-attr");
+  std::string right_attr = args.Flag("right-attr", left_attr);
+  if (left_attr.empty()) return Fail(err, "--left-attr is required");
+  std::string method = args.Flag("method", "overlap");
+
+  std::unique_ptr<Blocker> blocker;
+  OverlapBlockerOptions opts;
+  opts.left_attr = left_attr;
+  opts.right_attr = right_attr;
+  if (method == "ae") {
+    blocker = std::make_unique<AttrEquivalenceBlocker>(left_attr, right_attr);
+  } else if (method == "overlap") {
+    size_t k = static_cast<size_t>(std::atol(args.Flag("k", "3").c_str()));
+    blocker = std::make_unique<OverlapBlocker>(opts, k);
+  } else if (method == "coeff") {
+    double t = std::atof(args.Flag("threshold", "0.7").c_str());
+    blocker = std::make_unique<OverlapCoefficientBlocker>(opts, t);
+  } else if (method == "jaccard") {
+    double t = std::atof(args.Flag("threshold", "0.7").c_str());
+    blocker = std::make_unique<JaccardJoinBlocker>(opts, t);
+  } else if (method == "snb") {
+    size_t w = static_cast<size_t>(std::atol(args.Flag("window", "5").c_str()));
+    blocker = std::make_unique<SortedNeighborhoodBlocker>(left_attr,
+                                                          right_attr, w);
+  } else {
+    return Fail(err, "unknown --method '" + method +
+                     "' (ae|overlap|coeff|jaccard|snb)");
+  }
+
+  auto pairs = blocker->Block(*left, *right);
+  if (!pairs.ok()) return Fail(err, pairs.status().ToString());
+  out += StrFormat("%s kept %zu of %zu pairs\n", blocker->name().c_str(),
+                   pairs->size(), left->num_rows() * right->num_rows());
+  std::string out_path = args.Flag("out");
+  if (!out_path.empty()) {
+    Status s = WritePairsCsv(*pairs, out_path);
+    if (!s.ok()) return Fail(err, s.ToString());
+    out += "wrote " + out_path + "\n";
+  }
+  return 0;
+}
+
+Result<std::unique_ptr<MlMatcher>> MakeMatcherByName(const std::string& name) {
+  std::unique_ptr<MlMatcher> m;
+  if (name == "tree") {
+    m = std::make_unique<DecisionTreeMatcher>();
+  } else if (name == "forest") {
+    m = std::make_unique<RandomForestMatcher>();
+  } else if (name == "logreg") {
+    m = std::make_unique<LogisticRegressionMatcher>();
+  } else if (name == "nb") {
+    m = std::make_unique<NaiveBayesMatcher>();
+  } else if (name == "svm") {
+    m = std::make_unique<LinearSvmMatcher>();
+  } else if (name == "linreg") {
+    m = std::make_unique<LinearRegressionMatcher>();
+  } else {
+    return Status::InvalidArgument(
+        "unknown --matcher '" + name + "' (tree|forest|logreg|nb|svm|linreg)");
+  }
+  return m;
+}
+
+int CmdMatch(const Args& args, std::string& out, std::string& err) {
+  if (args.positional.size() != 2) {
+    return Fail(err, "usage: emx match <left.csv> <right.csv> --pairs=... "
+                     "--labels=... --out=...");
+  }
+  auto left = ReadCsvFile(args.positional[0]);
+  if (!left.ok()) return Fail(err, left.status().ToString());
+  auto right = ReadCsvFile(args.positional[1]);
+  if (!right.ok()) return Fail(err, right.status().ToString());
+  if (!args.Has("pairs") || !args.Has("labels")) {
+    return Fail(err, "--pairs and --labels are required");
+  }
+  auto pairs = ReadPairsCsv(args.Flag("pairs"));
+  if (!pairs.ok()) return Fail(err, pairs.status().ToString());
+  auto labels = ReadLabelsCsv(args.Flag("labels"));
+  if (!labels.ok()) return Fail(err, labels.status().ToString());
+
+  FeatureGenOptions fopts;
+  for (auto& col : Split(args.Flag("exclude"), ',')) {
+    if (!col.empty()) fopts.exclude.push_back(col);
+  }
+  for (auto& col : Split(args.Flag("lowercase"), ',')) {
+    if (!col.empty()) fopts.lowercase_variants.push_back(col);
+  }
+  auto features = GenerateFeatures(*left, *right, fopts);
+  if (!features.ok()) return Fail(err, features.status().ToString());
+
+  // Train on the decided labels.
+  LabeledSet decided = labels->WithoutUnsure();
+  CandidateSet train_pairs = decided.Pairs();
+  auto train_matrix = VectorizePairs(*left, *right, train_pairs, *features);
+  if (!train_matrix.ok()) return Fail(err, train_matrix.status().ToString());
+  MeanImputer imputer;
+  imputer.Fit(*train_matrix);
+  if (Status s = imputer.Transform(*train_matrix); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+  Dataset train;
+  train.feature_names = train_matrix->feature_names;
+  train.x = train_matrix->rows;
+  for (const RecordPair& p : train_pairs) {
+    Label l;
+    decided.GetLabel(p, &l);
+    train.y.push_back(l == Label::kYes ? 1 : 0);
+  }
+  auto matcher = MakeMatcherByName(args.Flag("matcher", "tree"));
+  if (!matcher.ok()) return Fail(err, matcher.status().ToString());
+  if (Status s = (*matcher)->Fit(train); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+
+  // Predict over the candidate pairs.
+  auto matrix = VectorizePairs(*left, *right, *pairs, *features);
+  if (!matrix.ok()) return Fail(err, matrix.status().ToString());
+  if (Status s = imputer.Transform(*matrix); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+  std::vector<int> pred = (*matcher)->Predict(matrix->rows);
+  std::vector<RecordPair> matched;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1) matched.push_back((*pairs)[i]);
+  }
+  CandidateSet matches(std::move(matched));
+  out += StrFormat("%s predicted %zu matches over %zu candidate pairs "
+                   "(%zu features, %zu training labels)\n",
+                   (*matcher)->name().c_str(), matches.size(), pairs->size(),
+                   features->features.size(), train.size());
+  std::string out_path = args.Flag("out");
+  if (!out_path.empty()) {
+    Status s = WritePairsCsv(matches, out_path);
+    if (!s.ok()) return Fail(err, s.ToString());
+    out += "wrote " + out_path + "\n";
+  }
+  return 0;
+}
+
+int CmdDedupe(const Args& args, std::string& out, std::string& err) {
+  if (args.positional.size() != 1) {
+    return Fail(err, "usage: emx dedupe <table.csv> --left-attr=... "
+                     "[--method=...] [--out=...]");
+  }
+  auto table = ReadCsvFile(args.positional[0]);
+  if (!table.ok()) return Fail(err, table.status().ToString());
+  std::string attr = args.Flag("left-attr");
+  if (attr.empty()) return Fail(err, "--left-attr is required");
+  std::string method = args.Flag("method", "overlap");
+
+  std::unique_ptr<Blocker> blocker;
+  OverlapBlockerOptions opts;
+  opts.left_attr = attr;
+  opts.right_attr = attr;
+  if (method == "ae") {
+    blocker = std::make_unique<AttrEquivalenceBlocker>(attr, attr);
+  } else if (method == "overlap") {
+    size_t k = static_cast<size_t>(std::atol(args.Flag("k", "3").c_str()));
+    blocker = std::make_unique<OverlapBlocker>(opts, k);
+  } else if (method == "jaccard") {
+    double t = std::atof(args.Flag("threshold", "0.7").c_str());
+    blocker = std::make_unique<JaccardJoinBlocker>(opts, t);
+  } else {
+    return Fail(err, "unknown --method '" + method + "' (ae|overlap|jaccard)");
+  }
+  auto dup = BlockSelf(*blocker, *table);
+  if (!dup.ok()) return Fail(err, dup.status().ToString());
+  out += StrFormat("%s found %zu potential duplicate pairs in %zu rows\n",
+                   blocker->name().c_str(), dup->size(), table->num_rows());
+  std::string out_path = args.Flag("out");
+  if (!out_path.empty()) {
+    Status s = WritePairsCsv(*dup, out_path);
+    if (!s.ok()) return Fail(err, s.ToString());
+    out += "wrote " + out_path + "\n";
+  }
+  return 0;
+}
+
+int CmdEstimate(const Args& args, std::string& out, std::string& err) {
+  if (!args.Has("matches") || !args.Has("sample")) {
+    return Fail(err, "usage: emx estimate --matches=... --sample=...");
+  }
+  auto matches = ReadPairsCsv(args.Flag("matches"));
+  if (!matches.ok()) return Fail(err, matches.status().ToString());
+  auto sample = ReadLabelsCsv(args.Flag("sample"));
+  if (!sample.ok()) return Fail(err, sample.status().ToString());
+  auto est = EstimateAccuracy(*matches, *sample);
+  if (!est.ok()) return Fail(err, est.status().ToString());
+  out += StrFormat("precision %.3f %s   recall %.3f %s   (%zu labels, %zu "
+                   "unsure ignored)\n",
+                   est->precision.point, est->precision.ToString().c_str(),
+                   est->recall.point, est->recall.ToString().c_str(),
+                   est->sample_size, est->unsure_ignored);
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string& out,
+           std::string& err) {
+  if (args.empty()) {
+    return Fail(err,
+                "usage: emx <profile|block|match|estimate> ...\n"
+                "see src/cli/cli.h for full flag documentation");
+  }
+  Args parsed = ParseArgs(args, 1);
+  const std::string& cmd = args[0];
+  if (cmd == "profile") return CmdProfile(parsed, out, err);
+  if (cmd == "block") return CmdBlock(parsed, out, err);
+  if (cmd == "dedupe") return CmdDedupe(parsed, out, err);
+  if (cmd == "match") return CmdMatch(parsed, out, err);
+  if (cmd == "estimate") return CmdEstimate(parsed, out, err);
+  return Fail(err, "unknown command '" + cmd + "'");
+}
+
+}  // namespace emx

@@ -1,0 +1,32 @@
+#ifndef EMX_CLI_CLI_H_
+#define EMX_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace emx {
+
+// The `emx` command-line tool, as a library entry point so the argument
+// handling and every subcommand are unit-testable in-process.
+//
+//   emx profile  <table.csv>
+//   emx block    <left.csv> <right.csv> --method=ae|overlap|coeff|jaccard|snb
+//                --left-attr=COL [--right-attr=COL] [--k=3] [--threshold=0.7]
+//                [--window=5] --out=pairs.csv
+//   emx match    <left.csv> <right.csv> --pairs=pairs.csv --labels=labels.csv
+//                [--matcher=tree|forest|logreg|nb|svm|linreg]
+//                [--exclude=col1,col2] [--lowercase=colA,colB]
+//                --out=matches.csv
+//   emx dedupe   <table.csv> --left-attr=COL [--method=ae|overlap|jaccard]
+//                [--k=3] [--threshold=0.7] [--out=pairs.csv]
+//   emx estimate --matches=matches.csv --sample=sample.csv
+//
+// Pair CSVs carry (left_id, right_id) row indices; label CSVs add a third
+// `label` column with yes/no/unsure. All diagnostics go to `out`/`err`
+// so tests can capture them.
+int RunCli(const std::vector<std::string>& args, std::string& out,
+           std::string& err);
+
+}  // namespace emx
+
+#endif  // EMX_CLI_CLI_H_

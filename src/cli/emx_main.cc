@@ -1,0 +1,16 @@
+// The `emx` command-line tool. All logic lives in cli.cc (unit-tested);
+// this translation unit only adapts process arguments and streams.
+
+#include <cstdio>
+
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  std::string out, err;
+  int code = emx::RunCli(args, out, err);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  if (!err.empty()) std::fputs(err.c_str(), stderr);
+  return code;
+}

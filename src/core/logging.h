@@ -1,0 +1,66 @@
+#ifndef EMX_CORE_LOGGING_H_
+#define EMX_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace emx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define EMX_LOG(level)                                              \
+  ::emx::internal_logging::LogMessage(::emx::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)
+
+// Invariant check: aborts with a message when `cond` is false. Used for
+// programmer errors (not data errors — those return Status).
+#define EMX_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::emx::internal_logging::FatalMessage(__FILE__, __LINE__).stream()      \
+      << "Check failed: " #cond " "
+
+namespace internal_logging {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace emx
+
+#endif  // EMX_CORE_LOGGING_H_

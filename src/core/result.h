@@ -1,0 +1,88 @@
+#ifndef EMX_CORE_RESULT_H_
+#define EMX_CORE_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/core/status.h"
+
+namespace emx {
+
+// Result<T> holds either a value of type T or a non-OK Status explaining why
+// the value could not be produced (the Arrow `Result` / abseil `StatusOr`
+// idiom). Accessing the value of an errored Result aborts; call ok() first
+// or use EMX_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return MakeTable(...)` and
+  // `return Status::InvalidArgument(...)` both work in a
+  // Result-returning function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      // An OK status carries no value; this is a caller bug.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+// moves the value into `lhs`. Usable in functions returning Status or
+// Result<U>.
+#define EMX_ASSIGN_OR_RETURN(lhs, expr)               \
+  EMX_ASSIGN_OR_RETURN_IMPL(                          \
+      EMX_RESULT_CONCAT(_emx_result, __LINE__), lhs, expr)
+
+#define EMX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define EMX_RESULT_CONCAT_INNER(a, b) a##b
+#define EMX_RESULT_CONCAT(a, b) EMX_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace emx
+
+#endif  // EMX_CORE_RESULT_H_

@@ -1,0 +1,95 @@
+#ifndef EMX_CORE_STATUS_H_
+#define EMX_CORE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace emx {
+
+// Error category for a failed operation. Mirrors the RocksDB/Arrow idiom:
+// the library never throws across its API boundary; fallible operations
+// return a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kParseError,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status is either OK (the cheap, common case: no allocation) or an error
+// code plus a message describing what went wrong.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Propagates a non-OK Status to the caller. Usable only in functions
+// returning Status.
+#define EMX_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::emx::Status _emx_status = (expr);            \
+    if (!_emx_status.ok()) return _emx_status;     \
+  } while (false)
+
+}  // namespace emx
+
+#endif  // EMX_CORE_STATUS_H_

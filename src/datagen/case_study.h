@@ -1,0 +1,106 @@
+#ifndef EMX_DATAGEN_CASE_STUDY_H_
+#define EMX_DATAGEN_CASE_STUDY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/block/blocker.h"
+#include "src/core/result.h"
+#include "src/datagen/preprocess.h"
+#include "src/datagen/universe.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/vectorizer.h"
+#include "src/labeling/label.h"
+#include "src/labeling/oracle.h"
+#include "src/ml/cross_validation.h"
+#include "src/ml/matcher.h"
+#include "src/rules/match_rules.h"
+#include "src/workflow/em_workflow.h"
+
+namespace emx {
+
+// Canonical stage implementations of the paper's pipeline, shared by the
+// bench harnesses, tests, and examples. Each function corresponds to one
+// section of the paper; the experiment binaries compose them and print the
+// paper-shaped tables.
+
+// --- §7 blocking ---------------------------------------------------------
+
+struct BlockingOutputs {
+  CandidateSet c1;  // AE blocker on the award-number suffix (M1 pairs)
+  CandidateSet c2;  // overlap blocker on AwardTitle, K = 3
+  CandidateSet c3;  // overlap-coefficient blocker on AwardTitle, t = 0.7
+  CandidateSet c;   // C1 ∪ C2 ∪ C3
+};
+
+// The three §7 blockers with the paper's parameters.
+std::shared_ptr<Blocker> MakeM1EquivalenceBlocker();
+std::shared_ptr<Blocker> MakeTitleOverlapBlocker(size_t k);
+std::shared_ptr<Blocker> MakeTitleOverlapCoefficientBlocker(double threshold);
+
+Result<BlockingOutputs> RunStandardBlocking(const Table& umetrics,
+                                            const Table& usda);
+
+// --- §5/§10 match rules ---------------------------------------------------
+
+// V1 positive rules: M1 only (Figure 8 era).
+std::vector<MatchRule> PositiveRulesV1();
+// V2 positive rules: M1 plus the award-number-equals-project-number rule
+// discovered in §10 (Figure 9/10 era).
+std::vector<MatchRule> PositiveRulesV2();
+// The §12 negative comparability rules.
+std::vector<MatchRule> NegativeRules();
+
+// --- §8 sampling & labeling ----------------------------------------------
+
+// The domain-expert oracle for the original (or extra) tables.
+OracleLabeler MakeOracle(const CandidateSet& gold, const CandidateSet& ambiguous,
+                         double noise_rate = 0.07, uint64_t seed = 77);
+
+// Labels `rounds` seeded samples of `per_round` pairs from `candidates`
+// with the oracle's CORRECTED labels (the state after the §8 cross-check
+// and LOO debugging).
+LabeledSet CollectCorrectedLabels(const OracleLabeler& oracle,
+                                  const CandidateSet& candidates,
+                                  size_t rounds, size_t per_round,
+                                  uint64_t seed);
+
+// --- §9 feature generation & matcher selection ----------------------------
+
+// The automatic feature set over the projected tables; with `case_fix` the
+// lowercase twin features for AwardTitle/EmployeeName are included (the §9
+// debugging fix).
+Result<FeatureSet> CaseStudyFeatures(const Table& umetrics, const Table& usda,
+                                     bool case_fix);
+
+// The six §9 matcher families with fixed seeds.
+std::vector<MatcherFactory> StandardMatcherFactories(uint64_t seed = 7);
+
+struct TrainedMatcher {
+  std::shared_ptr<MlMatcher> matcher;  // fitted on all usable labels
+  FeatureSet features;
+  MeanImputer imputer;                 // fitted on the training matrix
+  Dataset train_data;
+  std::vector<CvResult> cv_results;    // best-first
+};
+
+// Implements §9 end to end: drop Unsure labels and sure-rule pairs, build
+// feature vectors, impute, 5-fold-CV all families, fit the winner on
+// everything.
+Result<TrainedMatcher> TrainBestMatcher(const Table& umetrics,
+                                        const Table& usda,
+                                        const LabeledSet& labels,
+                                        const std::vector<MatchRule>& sure_rules,
+                                        bool case_fix, uint64_t seed = 7);
+
+// --- workflow assembly -----------------------------------------------------
+
+// Builds the Figure 8 / 9 / 10 workflow: positive rules + standard blockers
+// + the trained matcher (+ negative rules when `with_negative_rules`).
+EmWorkflow BuildCaseStudyWorkflow(const std::vector<MatchRule>& positive_rules,
+                                  const TrainedMatcher& trained,
+                                  bool with_negative_rules);
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_CASE_STUDY_H_

@@ -1,0 +1,16 @@
+#include "src/datagen/iris_matcher.h"
+
+#include "src/rules/match_rules.h"
+
+namespace emx {
+
+Result<CandidateSet> RunIrisMatcher(const Table& umetrics_projected,
+                                    const Table& usda_projected) {
+  std::vector<MatchRule> rules;
+  rules.push_back(MakeM1AwardNumberRule("AwardNumber", "AwardNumber"));
+  rules.push_back(
+      MakeAwardProjectNumberRule("AwardNumber", "ProjectNumber"));
+  return ApplyRulesCartesian(rules, umetrics_projected, usda_projected);
+}
+
+}  // namespace emx

@@ -1,0 +1,22 @@
+#ifndef EMX_DATAGEN_IRIS_MATCHER_H_
+#define EMX_DATAGEN_IRIS_MATCHER_H_
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// The production rule-based matcher deployed at UMETRICS ("the IRIS
+// matcher", §11). The paper characterises it behaviourally — precision
+// (100%, 100%), recall (65.1%, 71.8%) — i.e. it finds exactly the pairs
+// with hard identifier evidence and nothing else. We model it as the two
+// exact-number rules over the projected tables:
+//   - suffix(UMETRICS AwardNumber) == USDA AwardNumber        (M1)
+//   - suffix(UMETRICS AwardNumber) == USDA ProjectNumber      (§10 rule)
+Result<CandidateSet> RunIrisMatcher(const Table& umetrics_projected,
+                                    const Table& usda_projected);
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_IRIS_MATCHER_H_

@@ -1,0 +1,90 @@
+#include "src/datagen/preprocess.h"
+
+#include <unordered_map>
+
+#include "src/table/table_ops.h"
+
+namespace emx {
+
+namespace {
+
+// Builds award-number -> "name1|name2|..." from the employees table
+// (§6 step 4.b: multiple employee names per award are concatenated with
+// '|', each deduplicated).
+Result<std::unordered_map<std::string, std::string>> ConcatEmployeeNames(
+    const Table& employees) {
+  EMX_ASSIGN_OR_RETURN(Table grouped,
+                       GroupConcat(employees, "UniqueAwardNumber", "FullName",
+                                   "|"));
+  std::unordered_map<std::string, std::string> out;
+  out.reserve(grouped.num_rows() * 2);
+  for (size_t r = 0; r < grouped.num_rows(); ++r) {
+    // GroupConcat keeps duplicates (one per pay period); dedupe tokens here
+    // while preserving order.
+    std::string joined = grouped.at(r, 1).AsString();
+    std::string result;
+    std::unordered_map<std::string, bool> seen;
+    size_t start = 0;
+    for (size_t i = 0; i <= joined.size(); ++i) {
+      if (i == joined.size() || joined[i] == '|') {
+        std::string name = joined.substr(start, i - start);
+        start = i + 1;
+        if (name.empty() || seen.count(name)) continue;
+        seen[name] = true;
+        if (!result.empty()) result += '|';
+        result += name;
+      }
+    }
+    out[grouped.at(r, 0).AsString()] = std::move(result);
+  }
+  return out;
+}
+
+// Projects one UMETRICS agg-style table down to the aligned schema.
+Result<Table> ProjectUmetrics(
+    const Table& agg,
+    const std::unordered_map<std::string, std::string>& names) {
+  EMX_ASSIGN_OR_RETURN(
+      Table t, Project(agg, {"UniqueAwardNumber", "AwardTitle",
+                             "FirstTransDate", "LastTransDate"}));
+  EMX_ASSIGN_OR_RETURN(
+      t, RenameColumns(t, {{"UniqueAwardNumber", "AwardNumber"}}));
+  std::vector<Value> employee_col;
+  employee_col.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    auto it = names.find(t.at(r, 0).AsString());
+    employee_col.push_back(it == names.end() || it->second.empty()
+                               ? Value::Null()
+                               : Value(it->second));
+  }
+  EMX_RETURN_IF_ERROR(t.AddColumn({"EmployeeName", DataType::kString},
+                                  std::move(employee_col)));
+  return AddIdColumn(t, "RecordId");
+}
+
+}  // namespace
+
+Result<ProjectedTables> PreprocessCaseStudy(const CaseStudyData& data) {
+  ProjectedTables out;
+  EMX_ASSIGN_OR_RETURN(auto names, ConcatEmployeeNames(data.umetrics_employees));
+  EMX_ASSIGN_OR_RETURN(out.umetrics,
+                       ProjectUmetrics(data.umetrics_award_agg, names));
+  EMX_ASSIGN_OR_RETURN(out.extra,
+                       ProjectUmetrics(data.extra_umetrics_agg, names));
+
+  EMX_ASSIGN_OR_RETURN(
+      Table usda,
+      Project(data.usda,
+              {"AwardNumber", "ProjectTitle", "ProjectStartDate",
+               "ProjectEndDate", "AccessionNumber", "ProjectDirector",
+               "ProjectNumber"}));
+  EMX_ASSIGN_OR_RETURN(
+      usda, RenameColumns(usda, {{"ProjectTitle", "AwardTitle"},
+                                 {"ProjectStartDate", "FirstTransDate"},
+                                 {"ProjectEndDate", "LastTransDate"},
+                                 {"ProjectDirector", "EmployeeName"}}));
+  EMX_ASSIGN_OR_RETURN(out.usda, AddIdColumn(usda, "RecordId"));
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,35 @@
+#ifndef EMX_DATAGEN_PREPROCESS_H_
+#define EMX_DATAGEN_PREPROCESS_H_
+
+#include "src/core/result.h"
+#include "src/datagen/universe.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// The §6 pre-processing output: two (three, counting the §10 extra batch)
+// flat tables ready for blocking/matching, with aligned column names.
+//
+//   UMETRICSProjected(RecordId, AwardNumber, AwardTitle, FirstTransDate,
+//                     LastTransDate, EmployeeName)
+//   USDAProjected(RecordId, AwardNumber, AwardTitle, FirstTransDate,
+//                 LastTransDate, AccessionNumber, EmployeeName,
+//                 ProjectNumber)
+//
+// ProjectNumber is carried from the start (the paper pulled it in during
+// §10, footnote 9). Row order of the source tables is preserved, so the
+// gold sets of CaseStudyData index these tables directly.
+struct ProjectedTables {
+  Table umetrics;  // from umetrics_award_agg
+  Table usda;      // from usda
+  Table extra;     // from extra_umetrics_agg
+};
+
+// Runs the full §6 pipeline: project the relevant columns, rename to the
+// aligned schema, group-concatenate employee names per award with '|', and
+// prepend RecordId.
+Result<ProjectedTables> PreprocessCaseStudy(const CaseStudyData& data);
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_PREPROCESS_H_

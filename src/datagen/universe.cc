@@ -1,0 +1,821 @@
+#include "src/datagen/universe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/random.h"
+#include "src/core/strings.h"
+#include "src/datagen/vocab.h"
+#include "src/rules/number_pattern.h"
+
+namespace emx {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Internal row models
+
+struct URow {
+  std::string unique_award_number;  // "10.200 2008-34103-19449" etc.
+  std::vector<std::string> title_tokens;
+  std::string first_trans;  // "10/1/08"
+  std::string last_trans;
+  int start_year = 2005;
+  PersonName pi;
+  std::vector<PersonName> staff;
+  std::string account;
+  size_t suborg = 0;
+};
+
+struct SRow {
+  std::string accession;
+  std::string award_number;    // "" means null
+  std::string project_number;  // "" means null
+  std::vector<std::string> title_tokens;
+  bool ncnrsp = false;
+  PersonName director;
+  int start_year = 2005;
+  std::string start_date;
+  std::string end_date;
+};
+
+// ---------------------------------------------------------------------
+// Unique identifier factories
+
+class IdRegistry {
+ public:
+  explicit IdRegistry(uint64_t seed) : rng_(seed) {}
+
+  // "YYYY-#####-#####" federal award number.
+  std::string NewFederalNumber() {
+    return Fresh([this] {
+      int year = static_cast<int>(1997 + rng_.NextBelow(16));
+      return StrFormat("%04d-%05d-%05d", year,
+                       static_cast<int>(rng_.NextBelow(90000) + 10000),
+                       static_cast<int>(rng_.NextBelow(90000) + 10000));
+    });
+  }
+
+  // "WIS#####" state project number.
+  std::string NewWisNumber() {
+    return Fresh([this] {
+      return StrFormat("WIS%05d", static_cast<int>(rng_.NextBelow(9000) + 1000));
+    });
+  }
+
+  // "MSN######" internal campus account number.
+  std::string NewMsnNumber() {
+    return Fresh([this] {
+      return StrFormat("MSN%06d",
+                       static_cast<int>(rng_.NextBelow(900000) + 100000));
+    });
+  }
+
+  // 6-digit USDA accession number.
+  std::string NewAccession() {
+    return Fresh([this] {
+      return StrFormat("%06d",
+                       static_cast<int>(rng_.NextBelow(800000) + 100000));
+    });
+  }
+
+  // "10.###" CFDA-style prefix (not required to be unique).
+  std::string NewCfdaPrefix() {
+    return StrFormat("10.%03d", static_cast<int>(rng_.NextBelow(900) + 100));
+  }
+
+  // Mutates one digit of `number`, keeping the pattern; result is unique.
+  std::string TypoDigit(const std::string& number) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string out = number;
+      // Pick a random digit position.
+      std::vector<size_t> digit_pos;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i] >= '0' && out[i] <= '9') digit_pos.push_back(i);
+      }
+      if (digit_pos.empty()) break;
+      size_t pos = digit_pos[rng_.NextBelow(digit_pos.size())];
+      // Avoid the leading year digits so the YYYY group stays a year.
+      if (pos < 4 && out.size() > 6) pos = digit_pos[digit_pos.size() / 2];
+      char orig = out[pos];
+      char repl = static_cast<char>('0' + rng_.NextBelow(10));
+      if (repl == orig) continue;
+      out[pos] = repl;
+      if (used_.insert(out).second) return out;
+    }
+    // Pathological collision streak: fall back to a fresh number.
+    return NewFederalNumber();
+  }
+
+  // Registers an externally built id (returns false if taken).
+  bool Claim(const std::string& id) { return used_.insert(id).second; }
+
+ private:
+  template <typename Fn>
+  std::string Fresh(const Fn& make) {
+    for (;;) {
+      std::string id = make();
+      if (used_.insert(id).second) return id;
+    }
+  }
+
+  RandomEngine rng_;
+  std::set<std::string> used_;
+};
+
+// ---------------------------------------------------------------------
+// Noise processes
+
+// A noisy copy of a matched title, modeling the drift between UMETRICS and
+// USDA renditions of the same grant (token drops, adjacent swaps, rare
+// typos). Case drift is applied later (UMETRICS renders UPPERCASE, USDA
+// Mixed Case — the §9 case-debugging story).
+std::vector<std::string> NoisyTokens(const std::vector<std::string>& tokens,
+                                     RandomEngine& rng) {
+  std::vector<std::string> out = tokens;
+  // Drop one short connective.
+  if (out.size() > 4 && rng.NextBernoulli(0.20)) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      const std::string& w = out[i];
+      if (w == "of" || w == "in" || w == "and" || w == "for" || w == "the") {
+        out.erase(out.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  // Swap two adjacent tokens.
+  if (out.size() > 3 && rng.NextBernoulli(0.10)) {
+    size_t i = rng.NextBelow(out.size() - 1);
+    std::swap(out[i], out[i + 1]);
+  }
+  // Typo one character of one word. Titles of three or fewer tokens are
+  // spared: a typo there destroys most of the match evidence, and the
+  // paper's blocking debugger found no true matches lost to blocking.
+  if (out.size() > 3 && rng.NextBernoulli(0.06)) {
+    size_t i = rng.NextBelow(out.size());
+    if (out[i].size() > 3) {
+      size_t c = 1 + rng.NextBelow(out[i].size() - 2);
+      out[i][c] = static_cast<char>('a' + rng.NextBelow(26));
+    }
+  }
+  return out;
+}
+
+// Sibling-project variant: same research programme, different phase/year —
+// similar enough to fool a title matcher, distinct to a domain expert.
+std::vector<std::string> SiblingTokens(const std::vector<std::string>& tokens,
+                                       RandomEngine& rng) {
+  std::vector<std::string> out = tokens;
+  // Mostly identical titles: a title-driven matcher cannot tell a sibling
+  // project from its real counterpart, so it calls them matches — the
+  // production precision gap (§11's 75-80%) that the §12 negative rule
+  // then closes.
+  switch (rng.NextBelow(10)) {
+    case 0:
+      out.push_back("phase");
+      out.push_back("ii");
+      break;
+    case 1:
+      out.push_back("continuation");
+      break;
+    default:
+      break;  // identical title — the hardest bait
+  }
+  return out;
+}
+
+std::string UmetricsDate(int year, int month, int day) {
+  return StrFormat("%d/%d/%02d", month, day, year % 100);
+}
+
+std::string UsdaDate(int year, int month, int day) {
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+// ---------------------------------------------------------------------
+// Row factories
+
+URow MakeURow(RandomEngine& rng, IdRegistry& ids, const std::string& suffix) {
+  URow u;
+  u.unique_award_number = ids.NewCfdaPrefix() + " " + suffix;
+  u.title_tokens = MakeTitleTokens(rng);
+  u.start_year = static_cast<int>(1997 + rng.NextBelow(16));
+  int month = static_cast<int>(1 + rng.NextBelow(12));
+  int day = static_cast<int>(1 + rng.NextBelow(28));
+  u.first_trans = UmetricsDate(u.start_year, month, day);
+  u.last_trans = UmetricsDate(
+      u.start_year + static_cast<int>(1 + rng.NextBelow(5)), month, day);
+  u.pi = MakePerson(rng);
+  size_t staff_count = rng.NextBelow(4);
+  for (size_t i = 0; i < staff_count; ++i) u.staff.push_back(MakePerson(rng));
+  u.account = StrFormat("144-%c%c%c%04d",
+                        static_cast<char>('A' + rng.NextBelow(26)),
+                        static_cast<char>('A' + rng.NextBelow(26)),
+                        static_cast<char>('A' + rng.NextBelow(26)),
+                        static_cast<int>(rng.NextBelow(10000)));
+  u.suborg = rng.NextBelow(22);
+  return u;
+}
+
+// A USDA row describing the SAME grant as `u` (a gold match).
+SRow MakeMatchedSRow(const URow& u, RandomEngine& rng, IdRegistry& ids) {
+  SRow s;
+  s.accession = ids.NewAccession();
+  s.title_tokens = NoisyTokens(u.title_tokens, rng);
+  s.director = u.pi;
+  s.start_year = u.start_year + static_cast<int>(rng.NextBelow(2));
+  int month = static_cast<int>(1 + rng.NextBelow(12));
+  int day = static_cast<int>(1 + rng.NextBelow(28));
+  s.start_date = UsdaDate(s.start_year, month, day);
+  s.end_date =
+      UsdaDate(s.start_year + static_cast<int>(2 + rng.NextBelow(4)), month, day);
+  return s;
+}
+
+// An unrelated USDA row.
+SRow MakeFillerSRow(RandomEngine& rng, IdRegistry& ids, bool with_award) {
+  SRow s;
+  s.accession = ids.NewAccession();
+  s.title_tokens = MakeTitleTokens(rng);
+  s.director = MakePerson(rng);
+  s.start_year = static_cast<int>(1997 + rng.NextBelow(16));
+  int month = static_cast<int>(1 + rng.NextBelow(12));
+  int day = static_cast<int>(1 + rng.NextBelow(28));
+  s.start_date = UsdaDate(s.start_year, month, day);
+  s.end_date =
+      UsdaDate(s.start_year + static_cast<int>(2 + rng.NextBelow(4)), month, day);
+  s.project_number = ids.NewWisNumber();
+  if (with_award) s.award_number = ids.NewFederalNumber();
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Raw-table materialization (the seven Figure 2 tables)
+
+Table BuildAggTable(const std::vector<URow>& urows, RandomEngine& rng) {
+  Table t(Schema({{"UniqueAwardNumber", DataType::kString},
+                  {"AwardTitle", DataType::kString},
+                  {"FundingSource", DataType::kString},
+                  {"FirstTransDate", DataType::kString},
+                  {"LastTransDate", DataType::kString},
+                  {"RecipientAccountNumber", DataType::kString},
+                  {"TotalOverheadCharged", DataType::kDouble},
+                  {"TotalExpenditures", DataType::kDouble},
+                  {"NumberOfTransactions", DataType::kInt64},
+                  {"DataFileYearEarliest", DataType::kInt64},
+                  {"DataFileYearLatest", DataType::kInt64},
+                  {"SubOrgUnit", DataType::kInt64},
+                  {"CampusID", DataType::kInt64}}));
+  const auto& sources = vocab::FundingSources();
+  for (const URow& u : urows) {
+    double spend = 25000.0 + rng.NextDouble() * 975000.0;
+    (void)t.AppendRow(
+        {Value(u.unique_award_number), Value(ToUpperTitle(u.title_tokens)),
+         Value(sources[rng.NextBelow(sources.size())]), Value(u.first_trans),
+         Value(u.last_trans), Value(u.account),
+         Value(std::floor(spend * 0.3)), Value(std::floor(spend)),
+         Value(static_cast<int64_t>(4 + rng.NextBelow(120))),
+         Value(static_cast<int64_t>(u.start_year)),
+         Value(static_cast<int64_t>(u.start_year + 1 + rng.NextBelow(4))),
+         Value(static_cast<int64_t>(u.suborg)), Value(static_cast<int64_t>(1))});
+  }
+  return t;
+}
+
+Table BuildEmployeeTable(const std::vector<URow>& urows,
+                         const std::vector<URow>& extra, size_t target_rows,
+                         RandomEngine& rng) {
+  Table t(Schema({{"UniqueAwardNumber", DataType::kString},
+                  {"PeriodStartDate", DataType::kString},
+                  {"PeriodEndDate", DataType::kString},
+                  {"RecipientAccountNumber", DataType::kString},
+                  {"DeidentifiedEmployeeIdNumber", DataType::kInt64},
+                  {"FullName", DataType::kString},
+                  {"OccupationalClassification", DataType::kString},
+                  {"JobTitle", DataType::kString},
+                  {"ObjectCode", DataType::kInt64},
+                  {"SOCCode", DataType::kString},
+                  {"FteStatus", DataType::kDouble},
+                  {"ProportionOfEarningsAllocated", DataType::kDouble},
+                  {"DataFileYear", DataType::kInt64}}));
+  const auto& jobs = vocab::JobTitles();
+  std::vector<const URow*> all;
+  for (const URow& u : urows) all.push_back(&u);
+  for (const URow& u : extra) all.push_back(&u);
+  int64_t next_emp_id = 100000;
+  // Period sweeps: every award gets its PI + staff once per sweep, so every
+  // award is covered (the projected EmployeeName join needs that) and row
+  // counts scale with `target_rows`.
+  for (int sweep = 0; t.num_rows() < target_rows; ++sweep) {
+    for (const URow* u : all) {
+      std::vector<const PersonName*> people{&u->pi};
+      for (const auto& s : u->staff) people.push_back(&s);
+      int year = u->start_year + sweep;
+      for (const PersonName* p : people) {
+        if (t.num_rows() >= target_rows) break;
+        (void)t.AppendRow(
+            {Value(u->unique_award_number), Value(UsdaDate(year, 1, 1)),
+             Value(UsdaDate(year, 12, 31)), Value(u->account),
+             Value(next_emp_id++), Value(FormatUmetricsName(*p)),
+             Value(p == &u->pi ? "faculty" : "staff"),
+             Value(jobs[rng.NextBelow(jobs.size())]),
+             Value(static_cast<int64_t>(1000 + rng.NextBelow(4000))),
+             Value(StrFormat("%02d-%04d",
+                             static_cast<int>(11 + rng.NextBelow(40)),
+                             static_cast<int>(rng.NextBelow(10000)))),
+             Value(rng.NextBernoulli(0.7) ? 1.0 : 0.5),
+             Value(std::floor(rng.NextDouble() * 100.0) / 100.0),
+             Value(static_cast<int64_t>(year))});
+      }
+      if (t.num_rows() >= target_rows) break;
+    }
+  }
+  return t;
+}
+
+Table BuildObjectCodesTable(size_t rows, RandomEngine& rng) {
+  Table t(Schema({{"ObjectCode", DataType::kInt64},
+                  {"ObjectCodeText", DataType::kString},
+                  {"DataFileYear", DataType::kInt64}}));
+  const auto& methods = vocab::Methods();
+  const auto& subjects = vocab::Subjects();
+  for (size_t i = 0; i < rows; ++i) {
+    std::string text = methods[rng.NextBelow(methods.size())] + " " +
+                       subjects[rng.NextBelow(subjects.size())] + " expenses";
+    (void)t.AppendRow({Value(static_cast<int64_t>(1000 + i)), Value(text),
+                       Value(static_cast<int64_t>(2008 + (i % 8)))});
+  }
+  return t;
+}
+
+Table BuildOrgUnitsTable(size_t rows, RandomEngine& rng) {
+  Table t(Schema({{"CampusId", DataType::kInt64},
+                  {"SubOrgUnit", DataType::kInt64},
+                  {"CampusName", DataType::kString},
+                  {"SubOrgUnitName", DataType::kString},
+                  {"DataFileYear", DataType::kInt64}}));
+  const auto& units = vocab::OrgUnitNames();
+  for (size_t i = 0; i < rows; ++i) {
+    std::string name = units[i % units.size()];
+    if (i >= units.size()) name += StrFormat(" unit %zu", i / units.size());
+    (void)t.AppendRow({Value(static_cast<int64_t>(1)),
+                       Value(static_cast<int64_t>(i)),
+                       Value("university of wisconsin madison"), Value(name),
+                       Value(static_cast<int64_t>(2008 + rng.NextBelow(8)))});
+  }
+  return t;
+}
+
+Table BuildSubAwardTable(const std::vector<URow>& urows, size_t rows,
+                         RandomEngine& rng) {
+  std::vector<Field> fields = {{"UniqueAwardNumber", DataType::kString},
+                               {"Address", DataType::kString},
+                               {"BldgName", DataType::kString},
+                               {"City", DataType::kString},
+                               {"Country", DataType::kString},
+                               {"DUNS", DataType::kString},
+                               {"DomesticZipCode", DataType::kString},
+                               {"EIN", DataType::kString},
+                               {"ForeignZipCode", DataType::kString},
+                               {"ObjectCode", DataType::kInt64},
+                               {"OrgName", DataType::kString},
+                               {"OrganizationID", DataType::kInt64},
+                               {"POBox", DataType::kString},
+                               {"PeriodEndDate", DataType::kString},
+                               {"PeriodStartDate", DataType::kString},
+                               {"RecipientAccountNumber", DataType::kString},
+                               {"SrtName", DataType::kString},
+                               {"SrtNumber", DataType::kString},
+                               {"State", DataType::kString},
+                               {"StrName", DataType::kString},
+                               {"StrNumber", DataType::kString},
+                               {"SubAwardPaymentAmount", DataType::kDouble},
+                               {"DataFileYear", DataType::kInt64}};
+  Table t((Schema(fields)));
+  const auto& vendors = vocab::VendorNames();
+  for (size_t i = 0; i < rows; ++i) {
+    const URow& u = urows[rng.NextBelow(urows.size())];
+    int year = u.start_year + static_cast<int>(rng.NextBelow(3));
+    (void)t.AppendRow(
+        {Value(u.unique_award_number), Value("1450 linden dr"), Value::Null(),
+         Value("madison"), Value("USA"),
+         Value(StrFormat("%09d", static_cast<int>(rng.NextBelow(999999999)))),
+         Value("53706"),
+         Value(StrFormat("39-%07d", static_cast<int>(rng.NextBelow(9999999)))),
+         Value::Null(), Value(static_cast<int64_t>(1000 + rng.NextBelow(4000))),
+         Value(vendors[rng.NextBelow(vendors.size())]),
+         Value(static_cast<int64_t>(rng.NextBelow(100000))), Value::Null(),
+         Value(UsdaDate(year, 12, 31)), Value(UsdaDate(year, 1, 1)),
+         Value(u.account), Value::Null(), Value::Null(), Value("WI"),
+         Value("linden"), Value("1450"),
+         Value(std::floor(500.0 + rng.NextDouble() * 50000.0)),
+         Value(static_cast<int64_t>(year))});
+  }
+  return t;
+}
+
+Table BuildVendorTable(const std::vector<URow>& urows, size_t rows,
+                       RandomEngine& rng) {
+  Table t(Schema({{"UniqueAwardNumber", DataType::kString},
+                  {"PeriodStartDate", DataType::kString},
+                  {"PeriodEndDate", DataType::kString},
+                  {"RecipientAccountNumber", DataType::kString},
+                  {"ObjectCode", DataType::kInt64},
+                  {"OrganizationID", DataType::kInt64},
+                  {"EIN", DataType::kString},
+                  {"DUNS", DataType::kString},
+                  {"VendorPaymentAmount", DataType::kDouble},
+                  {"OrgName", DataType::kString},
+                  {"POBox", DataType::kString},
+                  {"BldgNum", DataType::kString},
+                  {"StrNumber", DataType::kString},
+                  {"StrName", DataType::kString},
+                  {"Address", DataType::kString},
+                  {"City", DataType::kString},
+                  {"State", DataType::kString},
+                  {"DomesticZipCode", DataType::kString},
+                  {"ForeignZipCode", DataType::kString},
+                  {"Country", DataType::kString},
+                  {"DataFileYear", DataType::kInt64}}));
+  const auto& vendors = vocab::VendorNames();
+  for (size_t i = 0; i < rows; ++i) {
+    const URow& u = urows[rng.NextBelow(urows.size())];
+    int year = u.start_year + static_cast<int>(rng.NextBelow(3));
+    (void)t.AppendRow(
+        {Value(u.unique_award_number), Value(UsdaDate(year, 1, 1)),
+         Value(UsdaDate(year, 12, 31)), Value(u.account),
+         Value(static_cast<int64_t>(1000 + rng.NextBelow(4000))),
+         Value(static_cast<int64_t>(rng.NextBelow(100000))),
+         Value(StrFormat("39-%07d", static_cast<int>(rng.NextBelow(9999999)))),
+         Value(StrFormat("%09d", static_cast<int>(rng.NextBelow(999999999)))),
+         Value(std::floor(50.0 + rng.NextDouble() * 20000.0)),
+         Value(vendors[rng.NextBelow(vendors.size())]), Value::Null(),
+         Value::Null(), Value(StrFormat("%d", static_cast<int>(
+                                  100 + rng.NextBelow(9900)))),
+         Value("university ave"), Value("university ave"), Value("madison"),
+         Value("WI"), Value("53715"), Value::Null(), Value("USA"),
+         Value(static_cast<int64_t>(year))});
+  }
+  return t;
+}
+
+Table BuildUsdaTable(const std::vector<SRow>& srows, RandomEngine& rng) {
+  // 14 named columns + 63 bookkeeping/financial columns + the final
+  // "Financial: USDA Contracts, Grants, Coop Agmt" column = 78 (Figure 4).
+  std::vector<Field> fields = {
+      {"AccessionNumber", DataType::kString},
+      {"ProjectTitle", DataType::kString},
+      {"SponsoringAgency", DataType::kString},
+      {"FundingMechanism", DataType::kString},
+      {"AwardNumber", DataType::kString},
+      {"InitialAwardFiscalYear", DataType::kInt64},
+      {"RecipientOrganization", DataType::kString},
+      {"RecipientDUNS", DataType::kString},
+      {"ProjectDirector", DataType::kString},
+      {"MultistateProjectNumber", DataType::kString},
+      {"ProjectNumber", DataType::kString},
+      {"ProjectStartDate", DataType::kString},
+      {"ProjectEndDate", DataType::kString},
+      {"ProjectStartFiscalYear", DataType::kInt64}};
+  for (int i = 0; i < 63; ++i) {
+    fields.push_back({StrFormat("ReportField%02d", i + 1), DataType::kDouble});
+  }
+  fields.push_back(
+      {"Financial: USDA Contracts, Grants, Coop Agmt", DataType::kDouble});
+  Table t((Schema(fields)));
+  for (const SRow& s : srows) {
+    std::vector<Value> row;
+    row.reserve(78);
+    bool federal = !s.award_number.empty();
+    std::string title = ToMixedTitle(s.title_tokens);
+    if (s.ncnrsp) title += " NC/NRSP";
+    row.push_back(Value(s.accession));
+    row.push_back(Value(title));
+    row.push_back(Value(federal ? "USDA-NIFA"
+                                : "State Agricultural Experiment Station"));
+    row.push_back(Value(federal ? "Federal Grant" : "State Funding"));
+    row.push_back(s.award_number.empty() ? Value::Null()
+                                         : Value(s.award_number));
+    row.push_back(Value(static_cast<int64_t>(s.start_year)));
+    row.push_back(Value("SAES - UNIVERSITY OF WISCONSIN"));
+    row.push_back(rng.NextBernoulli(0.3)
+                      ? Value(StrFormat("%09d", static_cast<int>(
+                                            rng.NextBelow(999999999))))
+                      : Value::Null());
+    row.push_back(Value(FormatUsdaDirector(s.director)));
+    row.push_back(s.ncnrsp ? Value(StrFormat("NC%03d", static_cast<int>(
+                                       100 + rng.NextBelow(400))))
+                           : Value::Null());
+    row.push_back(s.project_number.empty() ? Value::Null()
+                                           : Value(s.project_number));
+    row.push_back(Value(s.start_date));
+    row.push_back(Value(s.end_date));
+    row.push_back(Value(static_cast<int64_t>(s.start_year)));
+    for (int i = 0; i < 63; ++i) {
+      row.push_back(rng.NextBernoulli(0.35)
+                        ? Value(std::floor(rng.NextDouble() * 100000.0))
+                        : Value::Null());
+    }
+    row.push_back(federal
+                      ? Value(std::floor(10000.0 + rng.NextDouble() * 500000.0))
+                      : Value::Null());
+    (void)t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+void BuildRawTables(const UniverseOptions& opt, const std::vector<URow>& urows,
+                    const std::vector<SRow>& srows,
+                    const std::vector<URow>& extra, RandomEngine& rng,
+                    CaseStudyData& data) {
+  data.umetrics_award_agg = BuildAggTable(urows, rng);
+  data.extra_umetrics_agg = BuildAggTable(extra, rng);
+  data.umetrics_employees =
+      BuildEmployeeTable(urows, extra, opt.employee_rows, rng);
+  data.umetrics_object_codes = BuildObjectCodesTable(opt.object_code_rows, rng);
+  data.umetrics_org_units = BuildOrgUnitsTable(opt.org_unit_rows, rng);
+  data.umetrics_subaward = BuildSubAwardTable(urows, opt.subaward_rows, rng);
+  data.umetrics_vendor = BuildVendorTable(urows, opt.vendor_rows, rng);
+  data.usda = BuildUsdaTable(srows, rng);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Generator
+
+Result<CaseStudyData> GenerateCaseStudy(const UniverseOptions& options) {
+  UniverseOptions opt = options;
+  if (opt.paper_scale) {
+    opt.employee_rows = 1454070;
+    opt.vendor_rows = 377746;
+    opt.subaward_rows = 21470;
+  }
+  const size_t matched_groups =
+      opt.m1_group + opt.m4_group + opt.title_group + opt.typo_group;
+  if (matched_groups + opt.generic_umetrics + opt.ncnrsp_rows >
+      opt.num_umetrics) {
+    return Status::InvalidArgument(
+        "GenerateCaseStudy: match groups exceed num_umetrics");
+  }
+
+  RandomEngine rng(opt.seed);
+  IdRegistry ids(opt.seed ^ 0xD1CEULL);
+
+  std::vector<URow> urows;
+  std::vector<SRow> srows;
+  std::vector<RecordPair> gold, ambiguous;
+  CaseStudyData data;
+
+  auto add_gold = [&](size_t u, size_t s) {
+    gold.push_back({static_cast<uint32_t>(u), static_cast<uint32_t>(s)});
+  };
+
+  // Emits `u` plus one (or, via one-to-many sub-awards, several) matched
+  // USDA rows, wiring numbers per match group.
+  enum class Group { kM1, kM4, kTitle, kTypo };
+  auto emit_matched = [&](Group g) {
+    std::string suffix;
+    std::string wis;
+    switch (g) {
+      case Group::kM1:
+        suffix = ids.NewFederalNumber();
+        break;
+      case Group::kM4:
+        suffix = ids.NewWisNumber();
+        break;
+      case Group::kTitle:
+        suffix = ids.NewMsnNumber();
+        break;
+      case Group::kTypo:
+        suffix = ids.NewFederalNumber();
+        break;
+    }
+    URow u = MakeURow(rng, ids, suffix);
+    size_t u_idx = urows.size();
+    urows.push_back(u);
+
+    size_t copies = 1 + (rng.NextBernoulli(opt.one_to_many_rate) ? 1 : 0);
+    for (size_t c = 0; c < copies; ++c) {
+      SRow s = MakeMatchedSRow(u, rng, ids);
+      switch (g) {
+        case Group::kM1:
+          s.award_number = suffix;  // M1: exact award-number evidence
+          s.project_number = ids.NewWisNumber();
+          data.m1_pairs++;
+          break;
+        case Group::kM4:
+          s.project_number = suffix;  // M4: project-number evidence
+          // ~13% were retitled between the datasets: the grant is the same
+          // (the project number proves it) but the report title was
+          // rewritten, so title blocking cannot find the pair — the §10
+          // discovery that blocking had discarded rule-satisfying pairs
+          // (473 in the Cartesian product vs 411 in C).
+          if (rng.NextBernoulli(0.13)) {
+            s.title_tokens = MakeTitleTokens(rng);
+          }
+          data.m4_pairs++;
+          break;
+        case Group::kTitle:
+          // Only title/director/date evidence. A quarter carry an unrelated
+          // federal number (non-comparable with the MSN suffix, so the
+          // negative rule stays silent).
+          s.project_number = ids.NewWisNumber();
+          if (rng.NextBernoulli(0.25)) {
+            s.award_number = ids.NewFederalNumber();
+          }
+          data.title_pairs++;
+          break;
+        case Group::kTypo:
+          // True match whose USDA number was mistyped: same pattern,
+          // different value -> the §12 negative rule wrongly flips it.
+          s.award_number = ids.TypoDigit(suffix);
+          s.project_number = ids.NewWisNumber();
+          data.typo_pairs++;
+          break;
+      }
+      add_gold(u_idx, srows.size());
+      srows.push_back(std::move(s));
+    }
+  };
+
+  for (size_t i = 0; i < opt.m1_group; ++i) emit_matched(Group::kM1);
+  for (size_t i = 0; i < opt.m4_group; ++i) emit_matched(Group::kM4);
+  for (size_t i = 0; i < opt.title_group; ++i) emit_matched(Group::kTitle);
+  for (size_t i = 0; i < opt.typo_group; ++i) emit_matched(Group::kTypo);
+  const size_t num_matched_urows = urows.size();
+
+  // Sibling-project bait: a USDA row describing a DIFFERENT grant of the
+  // same lab — near-identical title, same director, comparable-but-unequal
+  // numbers. Domain experts label these No (the D2 family); a title-driven
+  // matcher calls them matches; the §12 negative rule flips them back.
+  const size_t num_numbered_urows = opt.m1_group + opt.m4_group;
+  for (size_t i = 0; i < opt.sibling_rows && num_matched_urows > 0; ++i) {
+    // Mostly shadow grants that carry comparable numbers (M1/M4 groups), so
+    // the §12 negative rule can flip them; a small minority shadow the
+    // title-only group and survive as residual false positives (the reason
+    // the paper's final precision is high but not 100%).
+    size_t u_idx = rng.NextBernoulli(0.88) && num_numbered_urows > 0
+                       ? rng.NextBelow(num_numbered_urows)
+                       : rng.NextBelow(num_matched_urows);
+    const URow& u = urows[u_idx];
+    SRow s;
+    s.accession = ids.NewAccession();
+    s.title_tokens = SiblingTokens(u.title_tokens, rng);
+    s.director = u.pi;
+    // Dates follow the true-match distribution exactly: nothing a feature
+    // vector can see separates a sibling from the real counterpart — only
+    // the comparable-but-unequal numbers do (the §12 negative-rule premise).
+    s.start_year = u.start_year + static_cast<int>(rng.NextBelow(2));
+    s.start_date = UsdaDate(s.start_year, 10, 1);
+    s.end_date = UsdaDate(s.start_year + 3, 9, 30);
+    std::string suffix = AwardNumberSuffix(u.unique_award_number);
+    // Comparable-but-different numbers: WIS vs WIS or federal vs federal.
+    if (suffix.rfind("WIS", 0) == 0) {
+      s.project_number = ids.NewWisNumber();
+    } else if (suffix.rfind("MSN", 0) == 0) {
+      s.project_number = ids.NewWisNumber();  // non-comparable; still bait
+    } else {
+      s.award_number = ids.NewFederalNumber();
+      s.project_number = ids.NewWisNumber();
+    }
+    data.sibling_pairs++;
+    srows.push_back(std::move(s));
+  }
+
+  // Generic-title rows: "LAB SUPPLIES"-style content that even experts
+  // cannot match (footnote 5); every generic x generic pair is ambiguous.
+  // Cluster the generic rows on few distinct titles so their cross pairs
+  // actually share tokens (and therefore land in the candidate set, where
+  // the sample-and-label loop meets them).
+  const size_t generic_cluster_count =
+      std::min<size_t>(4, vocab::GenericTitles().size());
+  std::vector<size_t> generic_u_idx, generic_s_idx;
+  for (size_t i = 0; i < opt.generic_umetrics; ++i) {
+    URow u = MakeURow(rng, ids, ids.NewMsnNumber());
+    u.title_tokens = SplitWhitespace(
+        vocab::GenericTitles()[rng.NextBelow(generic_cluster_count)]);
+    generic_u_idx.push_back(urows.size());
+    urows.push_back(std::move(u));
+  }
+  for (size_t i = 0; i < opt.generic_usda; ++i) {
+    SRow s = MakeFillerSRow(rng, ids, /*with_award=*/false);
+    s.title_tokens = SplitWhitespace(
+        vocab::GenericTitles()[rng.NextBelow(generic_cluster_count)]);
+    generic_s_idx.push_back(srows.size());
+    srows.push_back(std::move(s));
+  }
+  for (size_t ui : generic_u_idx) {
+    for (size_t si : generic_s_idx) {
+      ambiguous.push_back(
+          {static_cast<uint32_t>(ui), static_cast<uint32_t>(si)});
+    }
+  }
+
+  // NC/NRSP rows (the D1 family): titles agree except for the multistate
+  // "NC/NRSP" suffix; the experts eventually relabeled these Unsure.
+  for (size_t i = 0; i < opt.ncnrsp_rows; ++i) {
+    URow u = MakeURow(rng, ids, ids.NewMsnNumber());
+    size_t u_idx = urows.size();
+    urows.push_back(u);
+    SRow s = MakeMatchedSRow(u, rng, ids);
+    s.project_number = ids.NewWisNumber();
+    s.ncnrsp = true;
+    ambiguous.push_back({static_cast<uint32_t>(u_idx),
+                         static_cast<uint32_t>(srows.size())});
+    srows.push_back(std::move(s));
+  }
+
+  // UMETRICS filler (awards with no USDA counterpart).
+  while (urows.size() < opt.num_umetrics) {
+    std::string suffix;
+    switch (rng.NextBelow(3)) {
+      case 0:
+        suffix = ids.NewFederalNumber();
+        break;
+      case 1:
+        suffix = ids.NewWisNumber();
+        break;
+      default:
+        suffix = ids.NewMsnNumber();
+        break;
+    }
+    urows.push_back(MakeURow(rng, ids, suffix));
+  }
+
+  // USDA filler.
+  if (srows.size() > opt.num_usda) {
+    return Status::InvalidArgument(
+        "GenerateCaseStudy: matched+sibling USDA rows exceed num_usda");
+  }
+  std::vector<size_t> filler_s_idx;
+  while (srows.size() < opt.num_usda) {
+    filler_s_idx.push_back(srows.size());
+    srows.push_back(MakeFillerSRow(rng, ids, rng.NextBernoulli(0.5)));
+  }
+
+  data.gold = CandidateSet(std::move(gold));
+  data.ambiguous = CandidateSet(std::move(ambiguous));
+
+  // ------------------------------------------------------------------
+  // Extra UMETRICS records (§10): 55 sure matches into USDA filler rows,
+  // the rest unmatched.
+  std::vector<URow> extra;
+  std::vector<RecordPair> gold_extra;
+  {
+    size_t cursor = 0;
+    auto next_filler_with = [&](bool need_award) -> long {
+      while (cursor < filler_s_idx.size()) {
+        size_t si = filler_s_idx[cursor++];
+        const SRow& s = srows[si];
+        if (need_award ? !s.award_number.empty() : !s.project_number.empty()) {
+          return static_cast<long>(si);
+        }
+      }
+      return -1;
+    };
+    for (size_t i = 0; i < opt.extra_m1; ++i) {
+      long si = next_filler_with(/*need_award=*/true);
+      if (si < 0) break;
+      URow u = MakeURow(rng, ids, srows[static_cast<size_t>(si)].award_number);
+      // The extra record IS the USDA grant: align title and director too.
+      u.title_tokens = srows[static_cast<size_t>(si)].title_tokens;
+      u.pi = srows[static_cast<size_t>(si)].director;
+      gold_extra.push_back({static_cast<uint32_t>(extra.size()),
+                            static_cast<uint32_t>(si)});
+      extra.push_back(std::move(u));
+    }
+    for (size_t i = 0; i < opt.extra_m4; ++i) {
+      long si = next_filler_with(/*need_award=*/false);
+      if (si < 0) break;
+      URow u =
+          MakeURow(rng, ids, srows[static_cast<size_t>(si)].project_number);
+      u.title_tokens = srows[static_cast<size_t>(si)].title_tokens;
+      u.pi = srows[static_cast<size_t>(si)].director;
+      gold_extra.push_back({static_cast<uint32_t>(extra.size()),
+                            static_cast<uint32_t>(si)});
+      extra.push_back(std::move(u));
+    }
+    while (extra.size() < opt.num_extra) {
+      URow u = MakeURow(rng, ids, ids.NewMsnNumber());
+      // Unmatched extra awards reuse the curated vocabulary heavily: their
+      // titles share words with many USDA rows (driving the paper's 1,220
+      // extra-branch candidate pairs) without resembling any single one
+      // closely (the matcher predicted 0 matches there).
+      u.title_tokens = MakeTitleTokens(rng, /*synthetic_prob=*/0.25);
+      extra.push_back(std::move(u));
+    }
+  }
+  data.gold_extra = CandidateSet(std::move(gold_extra));
+  data.ambiguous_extra = CandidateSet();
+
+  // ------------------------------------------------------------------
+  // Materialize the raw tables.
+  BuildRawTables(opt, urows, srows, extra, rng, data);
+  return data;
+}
+
+}  // namespace emx

@@ -1,0 +1,90 @@
+#ifndef EMX_DATAGEN_UNIVERSE_H_
+#define EMX_DATAGEN_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// Knobs for the synthetic UMETRICS/USDA universe. Defaults regenerate the
+// paper's case study at its documented scale: 1336 + 496 UMETRICS award
+// rows, 1915 USDA rows, ~210 M1 award-number matches, ~473 M4
+// project-number matches, a title-evidence-only group, sibling-project
+// false-positive bait (the §12 negative-rule targets), generic-title
+// ambiguous pairs (the "Unsure" mass), and NC/NRSP-suffixed titles (the D1
+// discrepancy family).
+struct UniverseOptions {
+  uint64_t seed = 2019;
+
+  size_t num_umetrics = 1336;  // UMETRICSAwardAggMatching rows
+  size_t num_usda = 1915;      // USDAAwardMatching rows
+  size_t num_extra = 496;      // the §10 late-arriving UMETRICS records
+
+  // Match-group sizes, counted in UMETRICS records; one-to-many sub-award
+  // duplication adds extra USDA rows (and gold pairs) on top.
+  size_t m1_group = 200;     // USDA AwardNumber == UMETRICS award suffix
+  size_t m4_group = 450;     // USDA ProjectNumber == UMETRICS award suffix
+  size_t title_group = 280;  // only title/director/date evidence
+  size_t typo_group = 25;    // true matches whose numbers are comparable
+                             // but differ by a typo (killed by the negative
+                             // rule -> the §12 recall dip)
+  double one_to_many_rate = 0.05;
+
+  size_t sibling_rows = 280;     // USDA sibling-project rows (label: No)
+  size_t generic_umetrics = 40;  // generic-title rows (ambiguous pairs)
+  size_t generic_usda = 32;
+  size_t ncnrsp_rows = 12;       // D1 "NC/NRSP"-suffix pairs (ambiguous)
+
+  size_t extra_m1 = 30;  // sure matches among the extra records (§10: 55)
+  size_t extra_m4 = 25;
+
+  // Raw-table row scales. The paper's employee/vendor/subaward tables are
+  // large (1.45M / 378K / 21K rows); defaults are scaled down for fast
+  // generation — set paper_scale to regenerate the full Figure 2 sizes.
+  bool paper_scale = false;
+  size_t employee_rows = 45000;
+  size_t vendor_rows = 12000;
+  size_t subaward_rows = 2100;
+  size_t object_code_rows = 4574;
+  size_t org_unit_rows = 264;
+};
+
+// Everything the case study consumes, as the raw CSV-shaped tables of
+// Figure 2/3/4 plus ground truth that the real study did not have.
+struct CaseStudyData {
+  // Raw tables (§4).
+  Table umetrics_award_agg;    // 13 cols
+  Table umetrics_employees;    // 13 cols
+  Table umetrics_object_codes; // 3 cols
+  Table umetrics_org_units;    // 5 cols
+  Table umetrics_subaward;     // 23 cols
+  Table umetrics_vendor;       // 21 cols
+  Table usda;                  // 78 cols
+  Table extra_umetrics_agg;    // the §10 496-row patch, agg schema
+
+  // Ground truth over (award_agg row, usda row) indices — preprocessing
+  // preserves row order, so these also index the projected tables.
+  CandidateSet gold;            // true matches, original tables
+  CandidateSet gold_extra;      // true matches, (extra row, usda row)
+  CandidateSet ambiguous;       // pairs even experts cannot decide
+  CandidateSet ambiguous_extra;
+
+  // Per-group gold pair counts, for experiment reporting.
+  size_t m1_pairs = 0;
+  size_t m4_pairs = 0;
+  size_t title_pairs = 0;
+  size_t typo_pairs = 0;
+  size_t sibling_pairs = 0;
+};
+
+// Deterministically generates the universe; identical options (including
+// seed) produce identical tables on every platform.
+Result<CaseStudyData> GenerateCaseStudy(const UniverseOptions& options = {});
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_UNIVERSE_H_

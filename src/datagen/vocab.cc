@@ -1,0 +1,331 @@
+#include "src/datagen/vocab.h"
+
+#include "src/core/strings.h"
+
+namespace emx {
+namespace vocab {
+
+// Pools are function-local static references (never destroyed), avoiding
+// non-trivially-destructible globals.
+
+const std::vector<std::string>& Methods() {
+  static const auto& v = *new std::vector<std::string>{
+      "development", "evaluation",     "analysis",       "management",
+      "characterization", "improvement", "assessment",   "modeling",
+      "monitoring",  "optimization",   "regulation",     "identification",
+      "integration", "breeding",       "conservation",   "enhancement",
+      "suppression", "utilization",    "quantification", "restoration",
+      "detection",   "mitigation",     "propagation",    "selection",
+      "screening",   "mapping",        "validation",     "surveillance",
+      "remediation", "intensification"};
+  return v;
+}
+
+const std::vector<std::string>& Qualifiers() {
+  static const auto& v = *new std::vector<std::string>{
+      "genetic",      "epigenetic",  "molecular",    "nutritional",
+      "ecological",   "physiological", "microbial",  "sustainable",
+      "integrated",   "agronomic",   "genomic",      "economic",
+      "environmental", "reproductive", "postharvest", "transcriptional",
+      "biochemical",  "hydrological", "entomological", "pathogenic",
+      "rhizosphere",  "photosynthetic", "metabolic",  "symbiotic",
+      "quantitative", "behavioral",  "landscape",    "regional",
+      "multistate",   "applied"};
+  return v;
+}
+
+const std::vector<std::string>& Subjects() {
+  static const auto& v = *new std::vector<std::string>{
+      "organization", "silencing",   "resistance",  "tolerance",
+      "diversity",    "productivity", "quality",    "dynamics",
+      "interactions", "pathways",    "expression",  "efficiency",
+      "stability",    "responses",   "mechanisms",  "variation",
+      "architecture", "competition", "colonization", "senescence",
+      "dormancy",     "germination", "pollination", "fertility",
+      "virulence",    "phenology",   "morphology",  "yield",
+      "persistence",  "adaptation"};
+  return v;
+}
+
+const std::vector<std::string>& Crops() {
+  static const auto& v = *new std::vector<std::string>{
+      "maize",        "soybean",     "wheat",        "corn",
+      "alfalfa",      "potato",      "cranberry",    "carrot",
+      "oat",          "barley",      "dairy cattle", "swine",
+      "poultry",      "apple",       "ginseng",      "snap bean",
+      "sweet corn",   "tomato",      "cucumber",     "bluegrass",
+      "clover",       "sorghum",     "hops",         "mint",
+      "pea",          "beet",        "onion",        "cabbage",
+      "strawberry",   "raspberry",   "trout",        "honeybee",
+      "turf",         "switchgrass", "flax",         "sunflower",
+      "canola",       "rye",         "millet",       "pumpkin"};
+  return v;
+}
+
+const std::vector<std::string>& Contexts() {
+  static const auto& v = *new std::vector<std::string>{
+      "production systems",      "wisconsin farms",
+      "the north central states", "cropping systems",
+      "field conditions",        "cold climates",
+      "organic systems",         "greenhouse production",
+      "the upper midwest",       "rotational grazing",
+      "dairy operations",        "irrigated plots",
+      "conservation tillage",    "prairie ecosystems",
+      "watershed landscapes",    "controlled environments",
+      "storage facilities",      "processing operations",
+      "rural communities",       "extension programs"};
+  return v;
+}
+
+const std::vector<std::string>& GenericTitles() {
+  static const auto& v = *new std::vector<std::string>{
+      "lab supplies",
+      "equipment and lab supplies",
+      "hatch administrative project",
+      "administrative support",
+      "graduate research assistantship",
+      "research support services",
+      "miscellaneous research expenses",
+      "general agricultural research",
+      "station operations",
+      "summer field support"};
+  return v;
+}
+
+const std::vector<std::string>& Surnames() {
+  static const auto& v = *new std::vector<std::string>{
+      "smith",     "johnson",   "anderson", "nelson",    "olson",
+      "thompson",  "peterson",  "larson",   "hansen",    "miller",
+      "davis",     "wilson",    "moore",    "taylor",    "brown",
+      "jones",     "williams",  "jackson",  "white",     "harris",
+      "martin",    "garcia",    "clark",    "lewis",     "lee",
+      "walker",    "hall",      "allen",    "young",     "king",
+      "wright",    "scott",     "green",    "baker",     "adams",
+      "campbell",  "mitchell",  "roberts",  "carter",    "phillips",
+      "evans",     "turner",    "torres",   "parker",    "collins",
+      "edwards",   "stewart",   "flores",   "morris",    "murphy",
+      "cook",      "rogers",    "kermicle", "hammer",    "colquhoun",
+      "esker",     "hueth",     "tracy",    "stoltenberg", "jahn",
+      "bussan",    "groves",    "gevens",   "lauer",     "shaver",
+      "weigel",    "fricke",    "cabrera",  "ruark",     "laboski",
+      "conley",    "davis",     "mitchell", "silva",     "ane",
+      "kaeppler",  "de leon",   "hirsch",   "bethke",    "endelman"};
+  return v;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "john",    "james",    "robert",  "michael", "william",
+      "david",   "richard",  "joseph",  "thomas",  "charles",
+      "mary",    "patricia", "jennifer", "linda",  "elizabeth",
+      "barbara", "susan",    "jessica", "sarah",   "karen",
+      "nancy",   "lisa",     "margaret", "betty",  "sandra",
+      "paul",    "mark",     "donald",  "george",  "kenneth",
+      "steven",  "edward",   "brian",   "ronald",  "anthony",
+      "kevin",   "jason",    "matthew", "gary",    "timothy"};
+  return v;
+}
+
+const std::vector<std::string>& JobTitles() {
+  static const auto& v = *new std::vector<std::string>{
+      "professor",          "associate professor", "assistant professor",
+      "research associate", "research assistant",  "postdoctoral fellow",
+      "lab technician",     "graduate assistant",  "program manager",
+      "field technician",   "data analyst",        "outreach specialist"};
+  return v;
+}
+
+const std::vector<std::string>& OrgUnitNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "agronomy",                 "animal sciences",
+      "bacteriology",             "biochemistry",
+      "biological systems engineering", "dairy science",
+      "entomology",               "food science",
+      "forest and wildlife ecology", "genetics",
+      "horticulture",             "nutritional sciences",
+      "plant pathology",          "soil science",
+      "agricultural and applied economics", "life sciences communication",
+      "landscape architecture",   "community and environmental sociology",
+      "botany",                   "zoology",
+      "statistics",               "computer sciences"};
+  return v;
+}
+
+const std::vector<std::string>& VendorNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "midwest lab supply co",   "badger scientific inc",
+      "dane county seed",        "wisconsin ag equipment",
+      "northern greenhouse systems", "prairie instruments llc",
+      "great lakes chemical",    "madison analytical services",
+      "crop care logistics",     "four lakes irrigation",
+      "state line fertilizer",   "mendota biosciences",
+      "kettle moraine tractor",  "rock river genetics",
+      "cedar grove diagnostics", "driftless area consulting"};
+  return v;
+}
+
+const std::vector<std::string>& FundingSources() {
+  static const auto& v = *new std::vector<std::string>{
+      "USDA",  "USDA-NIFA", "USDA-ARS", "USDA-FS",
+      "STATE", "HATCH",     "MCINTIRE-STENNIS", "SMITH-LEVER"};
+  return v;
+}
+
+std::string SyntheticTerm(size_t i) {
+  // Pure function of the index: mixed-radix composition of syllables.
+  static const char* kPre[] = {"agri", "bio",   "phyto", "myco",  "entomo",
+                               "hydro", "pedo",  "zoo",   "geno",  "chemo",
+                               "rhizo", "xylo",  "lacto", "nitro", "thermo",
+                               "cryo",  "halo",  "meso",  "peri",  "sporo"};
+  static const char* kMid[] = {"carp", "derm", "gram", "lept", "morph",
+                               "pharm", "phyll", "plast", "stach", "troph",
+                               "vor",  "zym",  "blast", "clad", "cocc",
+                               "cyt",  "flor", "gen",   "lith", "nem"};
+  static const char* kSuf[] = {"ine", "ase", "oid", "ium", "ella", "osis",
+                               "ula", "ans", "ara", "ite"};
+  constexpr size_t kNumPre = sizeof(kPre) / sizeof(kPre[0]);
+  constexpr size_t kNumMid = sizeof(kMid) / sizeof(kMid[0]);
+  constexpr size_t kNumSuf = sizeof(kSuf) / sizeof(kSuf[0]);
+  size_t pre = i % kNumPre;
+  size_t mid = (i / kNumPre) % kNumMid;
+  size_t suf = (i / (kNumPre * kNumMid)) % kNumSuf;
+  return std::string(kPre[pre]) + kMid[mid] + kSuf[suf];
+}
+
+}  // namespace vocab
+
+std::vector<std::string> MakeTitleTokens(RandomEngine& rng,
+                                         double synthetic_prob) {
+  auto pick = [&rng](const std::vector<std::string>& pool) {
+    return pool[rng.NextBelow(pool.size())];
+  };
+  // Multi-word pool entries ("dairy cattle") are split into tokens.
+  auto append = [](std::vector<std::string>& out, const std::string& words) {
+    for (auto& w : SplitWhitespace(words)) out.push_back(w);
+  };
+  // A content slot: mostly a synthetic domain term, sometimes a curated
+  // word. The synthetic majority keeps random token collisions rare.
+  auto content = [&](const std::vector<std::string>& pool) -> std::string {
+    if (rng.NextBernoulli(synthetic_prob)) {
+      return vocab::SyntheticTerm(rng.NextBelow(vocab::kSyntheticLexiconSize));
+    }
+    return pool[rng.NextBelow(pool.size())];
+  };
+
+  std::vector<std::string> t;
+  switch (rng.NextBelow(12)) {
+    case 0:
+    case 1:
+    case 2:
+      // Connective-free noun phrase: "glumarine soybean tolerance screening".
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Crops()));
+      append(t, content(vocab::Subjects()));
+      append(t, content(vocab::Methods()));
+      break;
+    case 3:
+    case 4:
+      // "phytocarpine resistance mapping maize hybrids"
+      append(t, content(vocab::Subjects()));
+      append(t, content(vocab::Methods()));
+      append(t, content(vocab::Crops()));
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Subjects()));
+      break;
+    case 5:
+      // Short three-word form (feeds the overlap-coefficient blocker).
+      append(t, content(vocab::Crops()));
+      append(t, content(vocab::Subjects()));
+      append(t, content(vocab::Methods()));
+      break;
+    case 6:
+      // Two-word form: only the overlap-coefficient blocker can admit
+      // pairs of these (the §7 step 3 motivation).
+      append(t, content(vocab::Crops()));
+      append(t, content(vocab::Methods()));
+      break;
+    case 7:
+    case 8:
+      // Single connective: "characterization of mycodermine dormancy".
+      append(t, content(vocab::Methods()));
+      t.push_back("of");
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Subjects()));
+      append(t, content(vocab::Crops()));
+      break;
+    case 9:
+      // "sporoviorine screening in dairy operations"
+      append(t, content(vocab::Subjects()));
+      append(t, content(vocab::Methods()));
+      t.push_back("in");
+      append(t, pick(vocab::Contexts()));
+      break;
+    case 10:
+      // "halonemite dynamics and cryoblastase suppression"
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Subjects()));
+      t.push_back("and");
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Methods()));
+      break;
+    default:
+      // The florid multi-clause style of the paper's Figure 5 examples.
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Subjects()));
+      t.push_back("and");
+      append(t, content(vocab::Qualifiers()));
+      append(t, content(vocab::Subjects()));
+      t.push_back("of");
+      append(t, content(vocab::Crops()));
+      append(t, content(vocab::Subjects()));
+      break;
+  }
+  return t;
+}
+
+PersonName MakePerson(RandomEngine& rng) {
+  PersonName p;
+  p.surname = vocab::Surnames()[rng.NextBelow(vocab::Surnames().size())];
+  p.first_name =
+      vocab::FirstNames()[rng.NextBelow(vocab::FirstNames().size())];
+  p.middle_initial = static_cast<char>('a' + rng.NextBelow(26));
+  return p;
+}
+
+std::string FormatUmetricsName(const PersonName& p) {
+  std::string s = AsciiToUpper(p.surname) + ", " + AsciiToUpper(p.first_name) +
+                  " " + static_cast<char>(p.middle_initial - 'a' + 'A');
+  return s;
+}
+
+std::string FormatUsdaDirector(const PersonName& p) {
+  std::string surname = p.surname;
+  if (!surname.empty()) surname[0] = static_cast<char>(surname[0] - 'a' + 'A');
+  std::string s = surname;
+  s += ", ";
+  s += static_cast<char>(p.first_name[0] - 'a' + 'A');
+  s += '.';
+  s += static_cast<char>(p.middle_initial - 'a' + 'A');
+  return s;
+}
+
+std::string ToUpperTitle(const std::vector<std::string>& tokens) {
+  return AsciiToUpper(Join(tokens, " "));
+}
+
+std::string ToMixedTitle(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    std::string w = tok;
+    // Short connectives stay lowercase, Title Case elsewhere.
+    if (w != "of" && w != "in" && w != "and" && w != "for" && w != "the" &&
+        !w.empty()) {
+      if (w[0] >= 'a' && w[0] <= 'z') w[0] = static_cast<char>(w[0] - 'a' + 'A');
+    }
+    out.push_back(std::move(w));
+  }
+  return Join(out, " ");
+}
+
+}  // namespace emx

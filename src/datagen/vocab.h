@@ -1,0 +1,70 @@
+#ifndef EMX_DATAGEN_VOCAB_H_
+#define EMX_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/random.h"
+
+namespace emx {
+
+// Word pools for synthetic agricultural-research grant data. Pool sizes are
+// calibrated so that random title pairs rarely share 3+ words (driving the
+// paper's blocking-size shape: overlap K=1 admits ~8% of the Cartesian
+// product, K=3 admits ~0.1%).
+namespace vocab {
+
+const std::vector<std::string>& Methods();    // "development", "evaluation"...
+const std::vector<std::string>& Qualifiers(); // "genetic", "sustainable"...
+const std::vector<std::string>& Subjects();   // "resistance", "dynamics"...
+const std::vector<std::string>& Crops();      // "maize", "cranberry"...
+const std::vector<std::string>& Contexts();   // "production systems"...
+const std::vector<std::string>& GenericTitles();  // "lab supplies"...
+const std::vector<std::string>& Surnames();
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& JobTitles();
+const std::vector<std::string>& OrgUnitNames();
+const std::vector<std::string>& VendorNames();
+const std::vector<std::string>& FundingSources();
+
+// Deterministic synthetic domain term #i (agronomy-flavoured pseudo-Latin,
+// e.g. "phytocarpine"). The lexicon widens the title vocabulary far beyond
+// the hand-written pools so that *random* title pairs rarely share words —
+// matching the paper's blocking profile, where only ~8% of the Cartesian
+// product shares even one title token.
+std::string SyntheticTerm(size_t i);
+constexpr size_t kSyntheticLexiconSize = 1600;
+
+}  // namespace vocab
+
+// A canonical grant title as a lowercase token sequence (joined with single
+// spaces downstream; casing is applied per dataset side). Roughly 60% of
+// titles are connective-free noun phrases; content slots draw from the
+// synthetic lexicon with probability `synthetic_prob` and from the curated
+// pools otherwise. Lower `synthetic_prob` makes titles collide more — used
+// for the §10 extra records, whose candidate set is large despite them
+// matching almost nothing.
+std::vector<std::string> MakeTitleTokens(RandomEngine& rng,
+                                         double synthetic_prob = 0.72);
+
+// "surname, f.m" canonical director identity.
+struct PersonName {
+  std::string surname;     // "smith"
+  std::string first_name;  // "john"
+  char middle_initial;     // 'r'
+};
+PersonName MakePerson(RandomEngine& rng);
+
+// "SMITH, JOHN R" (UMETRICS employee style).
+std::string FormatUmetricsName(const PersonName& p);
+// "Smith, J.R" (USDA project-director style).
+std::string FormatUsdaDirector(const PersonName& p);
+
+// Case helpers: "swamp dodder ecology" -> "SWAMP DODDER ECOLOGY" /
+// "Swamp Dodder Ecology".
+std::string ToUpperTitle(const std::vector<std::string>& tokens);
+std::string ToMixedTitle(const std::vector<std::string>& tokens);
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_VOCAB_H_

@@ -1,0 +1,72 @@
+#include "src/eval/accuracy_monitor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/core/strings.h"
+#include "src/labeling/sampler.h"
+
+namespace emx {
+
+AccuracyMonitor::AccuracyMonitor(MonitorOptions options, Labeler labeler)
+    : options_(options),
+      labeler_(std::move(labeler)),
+      next_seed_(options.seed) {}
+
+Result<MonitorReport> AccuracyMonitor::Observe(
+    const CandidateSet& predicted_matches) {
+  if (predicted_matches.empty()) {
+    return Status::InvalidArgument("Observe: empty prediction batch");
+  }
+  if (!labeler_) {
+    return Status::FailedPrecondition("Observe: no labeler configured");
+  }
+  CandidateSet sample =
+      SamplePairs(predicted_matches, options_.sample_size, next_seed_++);
+
+  size_t yes = 0, no = 0, unsure = 0;
+  for (const RecordPair& p : sample) {
+    switch (labeler_(p)) {
+      case Label::kYes:
+        ++yes;
+        break;
+      case Label::kNo:
+        ++no;
+        break;
+      case Label::kUnsure:
+        ++unsure;
+        break;
+    }
+  }
+  size_t decided = yes + no;
+  MonitorReport report;
+  report.batch = history_.size();
+  report.labeled = decided;
+  report.unsure = unsure;
+  report.precision.support = decided;
+  if (decided > 0) {
+    double p = static_cast<double>(yes) / static_cast<double>(decided);
+    double se = std::sqrt(p * (1.0 - p) / static_cast<double>(decided));
+    report.precision.point = p;
+    report.precision.lo = std::max(0.0, p - options_.z * se);
+    report.precision.hi = std::min(1.0, p + options_.z * se);
+  }
+  report.alert = decided > 0 && report.precision.point < options_.precision_alert;
+  history_.push_back(report);
+  return report;
+}
+
+std::string AccuracyMonitor::HistoryToString() const {
+  std::ostringstream os;
+  for (const MonitorReport& r : history_) {
+    os << StrFormat("batch %zu: precision %.3f %s over %zu labels%s%s\n",
+                    r.batch, r.precision.point,
+                    r.precision.ToString().c_str(), r.labeled,
+                    r.unsure > 0 ? StrFormat(" (+%zu unsure)", r.unsure).c_str()
+                                 : "",
+                    r.alert ? "  [ALERT]" : "  [ok]");
+  }
+  return os.str();
+}
+
+}  // namespace emx

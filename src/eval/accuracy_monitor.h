@@ -1,0 +1,72 @@
+#ifndef EMX_EVAL_ACCURACY_MONITOR_H_
+#define EMX_EVAL_ACCURACY_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/labeling/label.h"
+
+namespace emx {
+
+// §12 "The Next Steps" / footnote 11: once the workflow moves to
+// production, accuracy must be MONITORED — "taking a random sample of the
+// predicted matches at regular intervals, manually labeling it, then using
+// the labeled sample to estimate the accuracy" — and a drop should send
+// the workflow back to development.
+//
+// AccuracyMonitor implements that loop: each Observe() call samples the
+// current prediction batch, obtains labels through the supplied labeler
+// callback (a human queue in production; an oracle in tests), appends a
+// precision estimate to the history, and reports whether the estimate has
+// fallen below the alert threshold.
+
+struct MonitorOptions {
+  size_t sample_size = 50;        // labels requested per batch
+  double precision_alert = 0.9;   // alert when the point estimate dips below
+  double z = 1.96;                // interval width for reporting
+  uint64_t seed = 7;
+};
+
+struct MonitorReport {
+  size_t batch = 0;               // 0-based observation index
+  IntervalEstimate precision;     // over the batch's predicted matches
+  size_t labeled = 0;             // decided labels used
+  size_t unsure = 0;              // Unsure labels discarded
+  bool alert = false;             // precision.point < precision_alert
+};
+
+class AccuracyMonitor {
+ public:
+  using Labeler = std::function<Label(const RecordPair&)>;
+
+  AccuracyMonitor(MonitorOptions options, Labeler labeler);
+
+  // Samples `options.sample_size` pairs from `predicted_matches`, labels
+  // them, and records a precision estimate. Fails on an empty batch.
+  Result<MonitorReport> Observe(const CandidateSet& predicted_matches);
+
+  const std::vector<MonitorReport>& history() const { return history_; }
+
+  // True when the most recent observation raised an alert.
+  bool alert_active() const {
+    return !history_.empty() && history_.back().alert;
+  }
+
+  // One line per observation: "batch 3: precision 0.92 (0.85, 0.99) [ok]".
+  std::string HistoryToString() const;
+
+ private:
+  MonitorOptions options_;
+  Labeler labeler_;
+  std::vector<MonitorReport> history_;
+  uint64_t next_seed_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_EVAL_ACCURACY_MONITOR_H_

@@ -1,0 +1,95 @@
+#include "src/eval/corleone_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+namespace {
+
+IntervalEstimate BinomialInterval(size_t successes, size_t trials, double z,
+                                  IntervalMethod method) {
+  IntervalEstimate e;
+  e.support = trials;
+  if (trials == 0) return e;
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  e.point = p;
+  if (method == IntervalMethod::kWald) {
+    double se = std::sqrt(p * (1.0 - p) / n);
+    e.lo = std::max(0.0, p - z * se);
+    e.hi = std::min(1.0, p + z * se);
+  } else {
+    // Wilson score interval.
+    double z2 = z * z;
+    double denom = 1.0 + z2 / n;
+    double center = (p + z2 / (2.0 * n)) / denom;
+    double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    e.lo = std::max(0.0, center - half);
+    e.hi = std::min(1.0, center + half);
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string IntervalEstimate::ToString() const {
+  return StrFormat("(%.1f%%, %.1f%%)", lo * 100.0, hi * 100.0);
+}
+
+Result<AccuracyEstimate> EstimateAccuracy(const CandidateSet& predicted,
+                                          const LabeledSet& sample, double z,
+                                          IntervalMethod method) {
+  if (sample.size() == 0) {
+    return Status::InvalidArgument("EstimateAccuracy: empty labeled sample");
+  }
+  size_t pred_yes = 0;   // predicted positive, labeled Yes
+  size_t pred_no = 0;    // predicted positive, labeled No
+  size_t missed_yes = 0; // predicted negative, labeled Yes
+  size_t unsure = 0;
+  for (const LabeledPair& item : sample.items()) {
+    if (item.label == Label::kUnsure) {
+      ++unsure;
+      continue;
+    }
+    bool is_pred = predicted.Contains(item.pair);
+    bool is_yes = item.label == Label::kYes;
+    if (is_pred && is_yes) {
+      ++pred_yes;
+    } else if (is_pred && !is_yes) {
+      ++pred_no;
+    } else if (!is_pred && is_yes) {
+      ++missed_yes;
+    }
+  }
+  AccuracyEstimate est;
+  est.sample_size = sample.size() - unsure;
+  est.unsure_ignored = unsure;
+  est.precision = BinomialInterval(pred_yes, pred_yes + pred_no, z, method);
+  est.recall = BinomialInterval(pred_yes, pred_yes + missed_yes, z, method);
+  return est;
+}
+
+GoldMetrics ComputeGoldMetrics(const CandidateSet& predicted,
+                               const CandidateSet& gold,
+                               const CandidateSet& ambiguous) {
+  GoldMetrics m;
+  for (const RecordPair& p : predicted) {
+    if (ambiguous.Contains(p)) continue;
+    if (gold.Contains(p)) {
+      ++m.tp;
+    } else {
+      ++m.fp;
+    }
+  }
+  for (const RecordPair& p : gold) {
+    if (ambiguous.Contains(p)) continue;
+    if (!predicted.Contains(p)) ++m.fn;
+  }
+  return m;
+}
+
+}  // namespace emx

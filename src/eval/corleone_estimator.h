@@ -1,0 +1,76 @@
+#ifndef EMX_EVAL_CORLEONE_ESTIMATOR_H_
+#define EMX_EVAL_CORLEONE_ESTIMATOR_H_
+
+#include <string>
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/labeling/label.h"
+
+namespace emx {
+
+// A point estimate with a confidence interval.
+struct IntervalEstimate {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  size_t support = 0;  // denominator sample count
+
+  std::string ToString() const;  // "(lo%, hi%)"
+};
+
+// Sample-based precision/recall estimates over a candidate set, following
+// the Corleone §6.1 procedure the paper adopts (§11): label a random sample
+// of the candidate set, then
+//   precision ≈ (#sampled predicted-positives labeled Yes) /
+//               (#sampled predicted-positives with a decided label)
+//   recall    ≈ (#sampled predicted-positives labeled Yes) /
+//               (#sampled pairs labeled Yes)
+// with binomial (Wald) 95% intervals by default; Unsure pairs are ignored
+// (footnote 10). Both the predictions under evaluation and the sample must
+// come from the same candidate-set universe (§11 step 1).
+struct AccuracyEstimate {
+  IntervalEstimate precision;
+  IntervalEstimate recall;
+  size_t sample_size = 0;     // decided (Yes/No) sampled pairs
+  size_t unsure_ignored = 0;  // Unsure pairs dropped
+};
+
+// Interval construction. Wald is the textbook normal approximation; Wilson
+// stays inside (0,1) and behaves at extreme proportions (an IRIS-style
+// all-correct sample gets a non-degenerate interval instead of (100,100)).
+enum class IntervalMethod { kWald, kWilson };
+
+Result<AccuracyEstimate> EstimateAccuracy(
+    const CandidateSet& predicted, const LabeledSet& sample, double z = 1.96,
+    IntervalMethod method = IntervalMethod::kWald);
+
+// Exact precision/recall/F1 against a known gold standard — available only
+// because our substrate is synthetic (the paper could only estimate).
+// Pairs in `ambiguous` are excluded from scoring, mirroring how Unsure
+// pairs are excluded from the estimates.
+struct GoldMetrics {
+  size_t tp = 0, fp = 0, fn = 0;
+  double Precision() const {
+    return (tp + fp) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return (tp + fn) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+GoldMetrics ComputeGoldMetrics(const CandidateSet& predicted,
+                               const CandidateSet& gold,
+                               const CandidateSet& ambiguous = {});
+
+}  // namespace emx
+
+#endif  // EMX_EVAL_CORLEONE_ESTIMATOR_H_

@@ -1,0 +1,54 @@
+#include "src/feature/attribute_type.h"
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+std::string_view AttrKindToString(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kNumeric:
+      return "numeric";
+    case AttrKind::kBoolean:
+      return "boolean";
+    case AttrKind::kShortString:
+      return "short_string";
+    case AttrKind::kMediumString:
+      return "medium_string";
+    case AttrKind::kLongString:
+      return "long_string";
+    case AttrKind::kVeryLongString:
+      return "very_long_string";
+  }
+  return "?";
+}
+
+AttrKind InferAttrKind(const std::vector<Value>& column) {
+  size_t non_null = 0;
+  size_t numeric = 0;
+  size_t boolean_like = 0;
+  size_t total_words = 0;
+  for (const Value& v : column) {
+    if (v.is_null()) continue;
+    ++non_null;
+    if (v.is_numeric()) {
+      ++numeric;
+      double d = v.AsDouble();
+      if (d == 0.0 || d == 1.0) ++boolean_like;
+      ++total_words;
+      continue;
+    }
+    total_words += SplitWhitespace(v.AsStringView()).size();
+  }
+  if (non_null == 0) return AttrKind::kShortString;
+  if (numeric == non_null) {
+    return (boolean_like == non_null) ? AttrKind::kBoolean : AttrKind::kNumeric;
+  }
+  double avg_words =
+      static_cast<double>(total_words) / static_cast<double>(non_null);
+  if (avg_words <= 1.5) return AttrKind::kShortString;
+  if (avg_words <= 5.0) return AttrKind::kMediumString;
+  if (avg_words <= 10.0) return AttrKind::kLongString;
+  return AttrKind::kVeryLongString;
+}
+
+}  // namespace emx

@@ -1,0 +1,33 @@
+#ifndef EMX_FEATURE_ATTRIBUTE_TYPE_H_
+#define EMX_FEATURE_ATTRIBUTE_TYPE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/table/value.h"
+
+namespace emx {
+
+// Coarse attribute kinds driving automatic feature selection, mirroring
+// Magellan's scheme (footnote 7: features are generated from the schemas,
+// picking string measures for short/medium/long strings and numeric
+// measures for numbers).
+enum class AttrKind {
+  kNumeric,
+  kBoolean,
+  kShortString,     // ~1 word per value (codes, ids)
+  kMediumString,    // 1-5 words
+  kLongString,      // 6-10 words
+  kVeryLongString,  // > 10 words
+};
+
+std::string_view AttrKindToString(AttrKind kind);
+
+// Infers the kind of a column from its non-null values: all-numeric columns
+// are kNumeric; 0/1-only numerics are kBoolean; strings are bucketed by
+// their average whitespace word count.
+AttrKind InferAttrKind(const std::vector<Value>& column);
+
+}  // namespace emx
+
+#endif  // EMX_FEATURE_ATTRIBUTE_TYPE_H_

@@ -1,0 +1,257 @@
+#include "src/feature/feature.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/strings.h"
+#include "src/text/numeric_similarity.h"
+#include "src/text/sequence_similarity.h"
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace emx {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string Prep(const Value& v, bool lowercase) {
+  std::string s = v.AsString();
+  return lowercase ? AsciiToLower(s) : s;
+}
+
+// Wraps a string-pair scorer into a Feature fn with null -> NaN semantics.
+template <typename Fn>
+std::function<double(const Value&, const Value&)> StringFeature(
+    Fn scorer, bool lowercase) {
+  return [scorer, lowercase](const Value& a, const Value& b) -> double {
+    if (a.is_null() || b.is_null()) return kNaN;
+    return scorer(Prep(a, lowercase), Prep(b, lowercase));
+  };
+}
+
+// Wraps a token-set scorer: tokenizes with whitespace or q-grams first.
+template <typename Fn>
+std::function<double(const Value&, const Value&)> TokenFeature(
+    Fn scorer, int qgram, bool lowercase) {
+  return [scorer, qgram, lowercase](const Value& a, const Value& b) -> double {
+    if (a.is_null() || b.is_null()) return kNaN;
+    std::vector<std::string> ta, tb;
+    if (qgram > 0) {
+      QgramTokenizer tok(qgram);
+      ta = tok.Tokenize(Prep(a, lowercase));
+      tb = tok.Tokenize(Prep(b, lowercase));
+    } else {
+      WhitespaceTokenizer tok;
+      ta = tok.Tokenize(Prep(a, lowercase));
+      tb = tok.Tokenize(Prep(b, lowercase));
+    }
+    return scorer(ta, tb);
+  };
+}
+
+std::string TokName(int qgram) {
+  return qgram > 0 ? "qgm" + std::to_string(qgram) : "ws";
+}
+
+std::string FeatName(const std::string& attr, const std::string& sim,
+                     bool lowercase) {
+  return (lowercase ? "lc_" : "") + attr + "_" + sim;
+}
+
+// Extracts a 4-digit year from a date-like string ("2008-34103-19449",
+// "10/1/08", "1997-07-01"); returns NaN-signal via ok=false when absent.
+bool ExtractYear(const std::string& s, int* year) {
+  // Leading 4-digit year.
+  if (s.size() >= 4 && IsAllDigits(s.substr(0, 4))) {
+    int y = std::stoi(s.substr(0, 4));
+    if (y >= 1900 && y <= 2100) {
+      *year = y;
+      return true;
+    }
+  }
+  // Trailing 4- or 2-digit year after the last '/' or '-'.
+  size_t pos = s.find_last_of("/-");
+  if (pos != std::string::npos && pos + 1 < s.size()) {
+    std::string tail = s.substr(pos + 1);
+    if (IsAllDigits(tail)) {
+      int y = std::stoi(tail);
+      if (tail.size() == 2) y += (y < 50) ? 2000 : 1900;
+      if (y >= 1900 && y <= 2100) {
+        *year = y;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Feature MakeExactMatchFeature(const std::string& left_attr,
+                              const std::string& right_attr, bool lowercase) {
+  return {FeatName(left_attr, "exact", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return ExactMatch(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeLevenshteinFeature(const std::string& left_attr,
+                               const std::string& right_attr, bool lowercase) {
+  return {FeatName(left_attr, "lev", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return LevenshteinSimilarity(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeJaroFeature(const std::string& left_attr,
+                        const std::string& right_attr, bool lowercase) {
+  return {FeatName(left_attr, "jaro", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return JaroSimilarity(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeJaroWinklerFeature(const std::string& left_attr,
+                               const std::string& right_attr, bool lowercase) {
+  return {FeatName(left_attr, "jwn", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return JaroWinklerSimilarity(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
+                                   const std::string& right_attr,
+                                   bool lowercase) {
+  return {FeatName(left_attr, "nmw", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return NeedlemanWunschSimilarity(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeSmithWatermanFeature(const std::string& left_attr,
+                                 const std::string& right_attr,
+                                 bool lowercase) {
+  return {FeatName(left_attr, "sw", lowercase), left_attr, right_attr,
+          StringFeature(
+              [](const std::string& a, const std::string& b) {
+                return SmithWatermanSimilarity(a, b);
+              },
+              lowercase)};
+}
+
+Feature MakeJaccardFeature(const std::string& left_attr,
+                           const std::string& right_attr, int qgram,
+                           bool lowercase) {
+  return {FeatName(left_attr, "jac_" + TokName(qgram), lowercase), left_attr,
+          right_attr,
+          TokenFeature(
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                return JaccardSimilarity(a, b);
+              },
+              qgram, lowercase)};
+}
+
+Feature MakeCosineFeature(const std::string& left_attr,
+                          const std::string& right_attr, int qgram,
+                          bool lowercase) {
+  return {FeatName(left_attr, "cos_" + TokName(qgram), lowercase), left_attr,
+          right_attr,
+          TokenFeature(
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                return CosineSimilarity(a, b);
+              },
+              qgram, lowercase)};
+}
+
+Feature MakeDiceFeature(const std::string& left_attr,
+                        const std::string& right_attr, int qgram,
+                        bool lowercase) {
+  return {FeatName(left_attr, "dice_" + TokName(qgram), lowercase), left_attr,
+          right_attr,
+          TokenFeature(
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                return DiceSimilarity(a, b);
+              },
+              qgram, lowercase)};
+}
+
+Feature MakeOverlapCoefficientFeature(const std::string& left_attr,
+                                      const std::string& right_attr, int qgram,
+                                      bool lowercase) {
+  return {FeatName(left_attr, "ovc_" + TokName(qgram), lowercase), left_attr,
+          right_attr,
+          TokenFeature(
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                return OverlapCoefficient(a, b);
+              },
+              qgram, lowercase)};
+}
+
+Feature MakeMongeElkanFeature(const std::string& left_attr,
+                              const std::string& right_attr, bool lowercase) {
+  return {FeatName(left_attr, "mel", lowercase), left_attr, right_attr,
+          TokenFeature(
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                return MongeElkanSimilarity(a, b);
+              },
+              /*qgram=*/0, lowercase)};
+}
+
+Feature MakeAbsDiffFeature(const std::string& left_attr,
+                           const std::string& right_attr) {
+  return {left_attr + "_absdiff", left_attr, right_attr,
+          [](const Value& a, const Value& b) -> double {
+            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+            return AbsoluteDifference(a.AsDouble(), b.AsDouble());
+          }};
+}
+
+Feature MakeRelativeSimFeature(const std::string& left_attr,
+                               const std::string& right_attr) {
+  return {left_attr + "_relsim", left_attr, right_attr,
+          [](const Value& a, const Value& b) -> double {
+            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+            return RelativeSimilarity(a.AsDouble(), b.AsDouble());
+          }};
+}
+
+Feature MakeNumericExactFeature(const std::string& left_attr,
+                                const std::string& right_attr) {
+  return {left_attr + "_numexact", left_attr, right_attr,
+          [](const Value& a, const Value& b) -> double {
+            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+            return NumericExactMatch(a.AsDouble(), b.AsDouble());
+          }};
+}
+
+Feature MakeYearDiffFeature(const std::string& left_attr,
+                            const std::string& right_attr) {
+  return {left_attr + "_yeardiff", left_attr, right_attr,
+          [](const Value& a, const Value& b) -> double {
+            if (a.is_null() || b.is_null()) return kNaN;
+            int ya = 0, yb = 0;
+            if (!ExtractYear(a.AsString(), &ya) ||
+                !ExtractYear(b.AsString(), &yb)) {
+              return kNaN;
+            }
+            return std::abs(ya - yb);
+          }};
+}
+
+}  // namespace emx

@@ -1,0 +1,78 @@
+#ifndef EMX_FEATURE_FEATURE_H_
+#define EMX_FEATURE_FEATURE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/table/value.h"
+
+namespace emx {
+
+// One pairwise feature: compares a left-table attribute against a
+// right-table attribute and yields a double (NaN when either side is null —
+// downstream, the Imputer fills NaNs with column means, exactly the paper's
+// missing-value handling in §9).
+struct Feature {
+  std::string name;        // e.g. "AwardTitle_jac_ws"
+  std::string left_attr;
+  std::string right_attr;
+  std::function<double(const Value&, const Value&)> fn;
+};
+
+// Named similarity-function factories. `lowercase` pre-lowercases both
+// sides — the "case fix" features added while debugging the matcher in §9.
+Feature MakeExactMatchFeature(const std::string& left_attr,
+                              const std::string& right_attr,
+                              bool lowercase = false);
+Feature MakeLevenshteinFeature(const std::string& left_attr,
+                               const std::string& right_attr,
+                               bool lowercase = false);
+Feature MakeJaroFeature(const std::string& left_attr,
+                        const std::string& right_attr,
+                        bool lowercase = false);
+Feature MakeJaroWinklerFeature(const std::string& left_attr,
+                               const std::string& right_attr,
+                               bool lowercase = false);
+Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
+                                   const std::string& right_attr,
+                                   bool lowercase = false);
+Feature MakeSmithWatermanFeature(const std::string& left_attr,
+                                 const std::string& right_attr,
+                                 bool lowercase = false);
+
+// Token-set features; `qgram` <= 0 means whitespace tokens, otherwise
+// character q-grams of that size.
+Feature MakeJaccardFeature(const std::string& left_attr,
+                           const std::string& right_attr, int qgram = 0,
+                           bool lowercase = false);
+Feature MakeCosineFeature(const std::string& left_attr,
+                          const std::string& right_attr, int qgram = 0,
+                          bool lowercase = false);
+Feature MakeDiceFeature(const std::string& left_attr,
+                        const std::string& right_attr, int qgram = 0,
+                        bool lowercase = false);
+Feature MakeOverlapCoefficientFeature(const std::string& left_attr,
+                                      const std::string& right_attr,
+                                      int qgram = 0, bool lowercase = false);
+Feature MakeMongeElkanFeature(const std::string& left_attr,
+                              const std::string& right_attr,
+                              bool lowercase = false);
+
+// Numeric features.
+Feature MakeAbsDiffFeature(const std::string& left_attr,
+                           const std::string& right_attr);
+Feature MakeRelativeSimFeature(const std::string& left_attr,
+                               const std::string& right_attr);
+Feature MakeNumericExactFeature(const std::string& left_attr,
+                                const std::string& right_attr);
+
+// Year difference between two date-like strings (leading 4-digit year or
+// trailing 4-digit year); NaN if either year cannot be extracted. Used for
+// the D3 label-debugging rule ("transaction dates within a few years", §8).
+Feature MakeYearDiffFeature(const std::string& left_attr,
+                            const std::string& right_attr);
+
+}  // namespace emx
+
+#endif  // EMX_FEATURE_FEATURE_H_

@@ -1,0 +1,97 @@
+#include "src/feature/feature_gen.h"
+
+#include <algorithm>
+
+#include "src/feature/attribute_type.h"
+
+namespace emx {
+
+namespace {
+
+bool InList(const std::string& name,
+                const std::vector<std::string>& exclude) {
+  return std::find(exclude.begin(), exclude.end(), name) != exclude.end();
+}
+
+// The wider kind wins when the two tables disagree (e.g. left says medium,
+// right says long -> long): string-kind enumerators are ordered by width.
+AttrKind WiderKind(AttrKind a, AttrKind b) {
+  if (a == AttrKind::kNumeric || a == AttrKind::kBoolean) return b;
+  if (b == AttrKind::kNumeric || b == AttrKind::kBoolean) return a;
+  return std::max(a, b);
+}
+
+void EmitForKind(AttrKind kind, const std::string& attr, bool lowercase,
+                 std::vector<Feature>& out) {
+  switch (kind) {
+    case AttrKind::kNumeric:
+      out.push_back(MakeNumericExactFeature(attr, attr));
+      out.push_back(MakeAbsDiffFeature(attr, attr));
+      out.push_back(MakeRelativeSimFeature(attr, attr));
+      break;
+    case AttrKind::kBoolean:
+      out.push_back(MakeNumericExactFeature(attr, attr));
+      break;
+    case AttrKind::kShortString:
+      out.push_back(MakeExactMatchFeature(attr, attr, lowercase));
+      out.push_back(MakeLevenshteinFeature(attr, attr, lowercase));
+      out.push_back(MakeJaroFeature(attr, attr, lowercase));
+      out.push_back(MakeJaroWinklerFeature(attr, attr, lowercase));
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/3, lowercase));
+      break;
+    case AttrKind::kMediumString:
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/3, lowercase));
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(MakeCosineFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(MakeMongeElkanFeature(attr, attr, lowercase));
+      out.push_back(MakeLevenshteinFeature(attr, attr, lowercase));
+      break;
+    case AttrKind::kLongString:
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/3, lowercase));
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(MakeCosineFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(
+          MakeOverlapCoefficientFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(MakeMongeElkanFeature(attr, attr, lowercase));
+      break;
+    case AttrKind::kVeryLongString:
+      out.push_back(MakeJaccardFeature(attr, attr, /*qgram=*/3, lowercase));
+      out.push_back(MakeCosineFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(
+          MakeOverlapCoefficientFeature(attr, attr, /*qgram=*/0, lowercase));
+      out.push_back(MakeDiceFeature(attr, attr, /*qgram=*/0, lowercase));
+      break;
+  }
+}
+
+}  // namespace
+
+Result<FeatureSet> GenerateFeatures(const Table& left, const Table& right,
+                                    const FeatureGenOptions& options) {
+  FeatureSet set;
+  for (const auto& field : left.schema().fields()) {
+    const std::string& attr = field.name;
+    if (!right.schema().Contains(attr)) continue;
+    if (InList(attr, options.exclude)) continue;
+
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                         left.ColumnByName(attr));
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                         right.ColumnByName(attr));
+    AttrKind kind = WiderKind(InferAttrKind(*lcol), InferAttrKind(*rcol));
+
+    EmitForKind(kind, attr, /*lowercase=*/false, set.features);
+    // Case-insensitive twins of the same measures (§9 debug fix).
+    if (InList(attr, options.lowercase_variants) &&
+        kind != AttrKind::kNumeric && kind != AttrKind::kBoolean) {
+      EmitForKind(kind, attr, /*lowercase=*/true, set.features);
+    }
+  }
+  if (set.features.empty()) {
+    return Status::InvalidArgument(
+        "GenerateFeatures: tables share no usable attributes");
+  }
+  return set;
+}
+
+}  // namespace emx

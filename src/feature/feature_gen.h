@@ -1,0 +1,59 @@
+#ifndef EMX_FEATURE_FEATURE_GEN_H_
+#define EMX_FEATURE_FEATURE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/feature/feature.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+struct FeatureGenOptions {
+  // Columns never used for features (ids, bookkeeping columns).
+  std::vector<std::string> exclude;
+  // Attributes for which case-insensitive ("lc_") variants are ALSO
+  // generated — the §9 debugging fix for titles differing only in case.
+  std::vector<std::string> lowercase_variants;
+};
+
+// A generated feature set plus its provenance.
+struct FeatureSet {
+  std::vector<Feature> features;
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(features.size());
+    for (const auto& f : features) out.push_back(f.name);
+    return out;
+  }
+};
+
+// Magellan-style automatic feature generation (footnote 7): for every
+// attribute name shared by `left` and `right` (minus excluded ones), infer
+// the attribute kind from the data of both tables and emit the measure set
+// appropriate for that kind:
+//   numeric       -> numeric exact, abs diff, relative sim
+//   boolean       -> numeric exact
+//   short string  -> exact, lev, jaro, jaro-winkler, jaccard(qg3)
+//   medium string -> jaccard(qg3), jaccard(ws), cosine(ws), monge-elkan, lev
+//   long string   -> jaccard(qg3), jaccard(ws), cosine(ws), overlap-coeff(ws),
+//                    monge-elkan
+//   very long     -> jaccard(qg3), cosine(ws), overlap-coeff(ws), dice(ws)
+Result<FeatureSet> GenerateFeatures(const Table& left, const Table& right,
+                                    const FeatureGenOptions& options = {});
+
+// Feature matrix: one row per record pair, one column per feature; missing
+// comparisons are NaN until imputed.
+struct FeatureMatrix {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_features() const { return feature_names.size(); }
+};
+
+}  // namespace emx
+
+#endif  // EMX_FEATURE_FEATURE_GEN_H_

@@ -1,0 +1,71 @@
+#include "src/feature/vectorizer.h"
+
+#include <cmath>
+
+namespace emx {
+
+Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
+                                     const CandidateSet& pairs,
+                                     const FeatureSet& features) {
+  // Resolve attribute columns once.
+  struct Bound {
+    const std::vector<Value>* lcol;
+    const std::vector<Value>* rcol;
+  };
+  std::vector<Bound> bound;
+  bound.reserve(features.features.size());
+  for (const Feature& f : features.features) {
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
+                         left.ColumnByName(f.left_attr));
+    EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
+                         right.ColumnByName(f.right_attr));
+    bound.push_back({lcol, rcol});
+  }
+
+  FeatureMatrix m;
+  m.feature_names = features.names();
+  m.rows.reserve(pairs.size());
+  for (const RecordPair& p : pairs) {
+    std::vector<double> row;
+    row.reserve(features.features.size());
+    for (size_t i = 0; i < features.features.size(); ++i) {
+      row.push_back(features.features[i].fn((*bound[i].lcol)[p.left],
+                                            (*bound[i].rcol)[p.right]));
+    }
+    m.rows.push_back(std::move(row));
+  }
+  return m;
+}
+
+void MeanImputer::Fit(const FeatureMatrix& matrix) {
+  size_t w = matrix.num_features();
+  means_.assign(w, 0.0);
+  std::vector<size_t> counts(w, 0);
+  for (const auto& row : matrix.rows) {
+    for (size_t c = 0; c < w; ++c) {
+      if (!std::isnan(row[c])) {
+        means_[c] += row[c];
+        ++counts[c];
+      }
+    }
+  }
+  for (size_t c = 0; c < w; ++c) {
+    means_[c] = counts[c] > 0 ? means_[c] / static_cast<double>(counts[c]) : 0.0;
+  }
+}
+
+Status MeanImputer::Transform(FeatureMatrix& matrix) const {
+  if (matrix.num_features() != means_.size()) {
+    return Status::InvalidArgument(
+        "MeanImputer: matrix width " + std::to_string(matrix.num_features()) +
+        " != fitted width " + std::to_string(means_.size()));
+  }
+  for (auto& row : matrix.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (std::isnan(row[c])) row[c] = means_[c];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace emx

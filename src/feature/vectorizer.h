@@ -1,0 +1,41 @@
+#ifndef EMX_FEATURE_VECTORIZER_H_
+#define EMX_FEATURE_VECTORIZER_H_
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/feature/feature_gen.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// Converts each candidate record pair into a feature vector by evaluating
+// every feature of `features` on the pair's attribute values (§9: "we used
+// these features to convert each record pair into a feature vector").
+// Row i of the result corresponds to pairs[i]; missing comparisons are NaN.
+Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
+                                     const CandidateSet& pairs,
+                                     const FeatureSet& features);
+
+// Mean imputation fitted on a training matrix, applied to any matrix with
+// the same feature columns — PyMatcher fills missing feature values with
+// the column mean before scikit-learn sees them (§9).
+class MeanImputer {
+ public:
+  MeanImputer() = default;
+
+  // Learns per-column means over non-NaN entries. Columns that are all-NaN
+  // get mean 0.
+  void Fit(const FeatureMatrix& matrix);
+
+  // Replaces NaNs with the fitted means, in place. Fails if widths differ.
+  Status Transform(FeatureMatrix& matrix) const;
+
+  const std::vector<double>& means() const { return means_; }
+
+ private:
+  std::vector<double> means_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_FEATURE_VECTORIZER_H_

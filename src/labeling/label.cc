@@ -1,0 +1,72 @@
+#include "src/labeling/label.h"
+
+namespace emx {
+
+std::string_view LabelToString(Label label) {
+  switch (label) {
+    case Label::kNo:
+      return "No";
+    case Label::kYes:
+      return "Yes";
+    case Label::kUnsure:
+      return "Unsure";
+  }
+  return "?";
+}
+
+void LabeledSet::SetLabel(const RecordPair& pair, Label label) {
+  auto [it, inserted] = index_.try_emplace(pair, label);
+  if (inserted) {
+    items_.push_back({pair, label});
+    return;
+  }
+  it->second = label;
+  for (auto& item : items_) {
+    if (item.pair == pair) {
+      item.label = label;
+      break;
+    }
+  }
+}
+
+bool LabeledSet::GetLabel(const RecordPair& pair, Label* label) const {
+  auto it = index_.find(pair);
+  if (it == index_.end()) return false;
+  if (label != nullptr) *label = it->second;
+  return true;
+}
+
+bool LabeledSet::Contains(const RecordPair& pair) const {
+  return index_.count(pair) > 0;
+}
+
+LabeledSet LabeledSet::WithoutUnsure() const {
+  LabeledSet out;
+  for (const auto& item : items_) {
+    if (item.label != Label::kUnsure) out.SetLabel(item.pair, item.label);
+  }
+  return out;
+}
+
+CandidateSet LabeledSet::Pairs() const {
+  std::vector<RecordPair> pairs;
+  pairs.reserve(items_.size());
+  for (const auto& item : items_) pairs.push_back(item.pair);
+  return CandidateSet(std::move(pairs));
+}
+
+void LabeledSet::Merge(const LabeledSet& other) {
+  for (const auto& item : other.items()) {
+    SetLabel(item.pair, item.label);
+  }
+}
+
+size_t LabeledSet::Count(Label label) const {
+  size_t n = 0;
+  for (const auto& item : items_) {
+    if (item.label == label) ++n;
+  }
+  return n;
+}
+
+}  // namespace emx

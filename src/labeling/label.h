@@ -1,0 +1,64 @@
+#ifndef EMX_LABELING_LABEL_H_
+#define EMX_LABELING_LABEL_H_
+
+#include <cstddef>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "src/block/candidate_set.h"
+
+namespace emx {
+
+// The labeling trichotomy of §8: even domain experts cannot decide some
+// pairs, so "Unsure" is first-class; Unsure pairs are excluded from
+// training and evaluation.
+enum class Label { kNo = 0, kYes = 1, kUnsure = 2 };
+
+std::string_view LabelToString(Label label);
+
+struct LabeledPair {
+  RecordPair pair;
+  Label label;
+};
+
+// An ordered collection of labeled record pairs with O(log n) lookup and
+// the Yes/No/Unsure tallies the paper reports after every labeling round.
+class LabeledSet {
+ public:
+  LabeledSet() = default;
+
+  size_t size() const { return items_.size(); }
+  const std::vector<LabeledPair>& items() const { return items_; }
+
+  // Inserts or overwrites the label for `pair` (label updates happen
+  // throughout §8's debugging loop).
+  void SetLabel(const RecordPair& pair, Label label);
+
+  // True plus the label when `pair` is present.
+  bool GetLabel(const RecordPair& pair, Label* label) const;
+  bool Contains(const RecordPair& pair) const;
+
+  size_t CountYes() const { return Count(Label::kYes); }
+  size_t CountNo() const { return Count(Label::kNo); }
+  size_t CountUnsure() const { return Count(Label::kUnsure); }
+
+  // Copy without the Unsure pairs (what training/evaluation consume).
+  LabeledSet WithoutUnsure() const;
+
+  // The pairs as a CandidateSet (all labels).
+  CandidateSet Pairs() const;
+
+  // Merges `other` into this set; labels in `other` win on conflict.
+  void Merge(const LabeledSet& other);
+
+ private:
+  size_t Count(Label label) const;
+
+  std::map<RecordPair, Label> index_;
+  std::vector<LabeledPair> items_;  // insertion order, one entry per pair
+};
+
+}  // namespace emx
+
+#endif  // EMX_LABELING_LABEL_H_

@@ -1,0 +1,40 @@
+#include "src/labeling/label_debugger.h"
+
+#include "src/ml/cross_validation.h"
+
+namespace emx {
+
+Result<std::vector<LabelDiscrepancy>> DebugLabels(
+    const std::vector<LabeledPair>& pairs,
+    const std::vector<std::vector<double>>& feature_rows,
+    const MatcherFactory& factory) {
+  if (pairs.size() != feature_rows.size()) {
+    return Status::InvalidArgument(
+        "DebugLabels: pairs and feature rows misaligned");
+  }
+  Dataset data;
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].label == Label::kUnsure) continue;
+    data.x.push_back(feature_rows[i]);
+    data.y.push_back(pairs[i].label == Label::kYes ? 1 : 0);
+    kept.push_back(i);
+  }
+  if (data.size() < 2) {
+    return Status::InvalidArgument("DebugLabels: not enough decided labels");
+  }
+  EMX_ASSIGN_OR_RETURN(std::vector<int> loo,
+                       LeaveOneOutPredictions(factory, data));
+  std::vector<LabelDiscrepancy> out;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    int given = data.y[i];
+    if (loo[i] != given) {
+      out.push_back({pairs[kept[i]].pair,
+                     given == 1 ? Label::kYes : Label::kNo,
+                     loo[i] == 1 ? Label::kYes : Label::kNo});
+    }
+  }
+  return out;
+}
+
+}  // namespace emx

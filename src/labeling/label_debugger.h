@@ -1,0 +1,39 @@
+#ifndef EMX_LABELING_LABEL_DEBUGGER_H_
+#define EMX_LABELING_LABEL_DEBUGGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/labeling/label.h"
+#include "src/ml/matcher.h"
+
+namespace emx {
+
+// A labeled pair whose given label disagrees with the leave-one-out
+// prediction of a matcher trained on all other labeled pairs (§8,
+// "Debugging the Labeled Sample").
+struct LabelDiscrepancy {
+  RecordPair pair;
+  Label given;
+  Label predicted;  // kYes or kNo
+};
+
+struct LabelDebugOptions {
+  uint64_t seed = 7;
+};
+
+// Runs leave-one-out cross-validation over the Yes/No pairs of `labels`
+// (Unsure pairs and pairs in `sure_matches` are removed first, as the
+// paper removes "unsure and sure matches" before debugging) and reports
+// every disagreement. `features` must align row-wise with
+// labels.WithoutUnsure() minus sure matches — callers should instead use
+// the convenience overload below, which handles alignment.
+Result<std::vector<LabelDiscrepancy>> DebugLabels(
+    const std::vector<LabeledPair>& pairs,
+    const std::vector<std::vector<double>>& feature_rows,
+    const MatcherFactory& factory);
+
+}  // namespace emx
+
+#endif  // EMX_LABELING_LABEL_DEBUGGER_H_

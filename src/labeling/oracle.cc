@@ -1,0 +1,52 @@
+#include "src/labeling/oracle.h"
+
+namespace emx {
+
+OracleLabeler::OracleLabeler(CandidateSet gold_matches, CandidateSet ambiguous,
+                             OracleOptions options)
+    : gold_(std::move(gold_matches)),
+      ambiguous_(std::move(ambiguous)),
+      options_(options) {}
+
+uint64_t OracleLabeler::PairHash(const RecordPair& pair, uint64_t salt) const {
+  // SplitMix64-style mix of (left, right, seed, salt); stable per pair.
+  uint64_t x = (static_cast<uint64_t>(pair.left) << 32) | pair.right;
+  x ^= options_.seed + 0x9E3779B97F4A7C15ULL + (salt << 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Label OracleLabeler::LabelPair(const RecordPair& pair) const {
+  if (ambiguous_.Contains(pair)) {
+    double u = static_cast<double>(PairHash(pair, 1) >> 11) * 0x1.0p-53;
+    if (u < options_.unsure_rate) return Label::kUnsure;
+    // Ambiguous pairs guessed instead of marked Unsure split evenly.
+    return (PairHash(pair, 2) & 1) ? Label::kYes : Label::kNo;
+  }
+  Label truth = gold_.Contains(pair) ? Label::kYes : Label::kNo;
+  double n = static_cast<double>(PairHash(pair, 3) >> 11) * 0x1.0p-53;
+  if (n < options_.noise_rate) {
+    return truth == Label::kYes ? Label::kNo : Label::kYes;
+  }
+  return truth;
+}
+
+Label OracleLabeler::CorrectedLabel(const RecordPair& pair) const {
+  if (ambiguous_.Contains(pair)) {
+    // Even after discussion some pairs stay undecidable (§8 D1: "even they
+    // did not know if these were matches").
+    double u = static_cast<double>(PairHash(pair, 1) >> 11) * 0x1.0p-53;
+    if (u < options_.unsure_rate) return Label::kUnsure;
+    return gold_.Contains(pair) ? Label::kYes : Label::kNo;
+  }
+  return gold_.Contains(pair) ? Label::kYes : Label::kNo;
+}
+
+void OracleLabeler::LabelAll(const CandidateSet& pairs, LabeledSet& out) const {
+  for (const RecordPair& p : pairs) {
+    out.SetLabel(p, LabelPair(p));
+  }
+}
+
+}  // namespace emx

@@ -1,0 +1,53 @@
+#ifndef EMX_LABELING_ORACLE_H_
+#define EMX_LABELING_ORACLE_H_
+
+#include <cstdint>
+
+#include "src/block/candidate_set.h"
+#include "src/labeling/label.h"
+
+namespace emx {
+
+struct OracleOptions {
+  // Probability a decidable pair gets the WRONG label on the first pass
+  // (the UMETRICS student's 22 mismatches out of 100, §8, before the
+  // cross-check fixed them).
+  double noise_rate = 0.0;
+  // Probability an ambiguous pair is labeled Unsure rather than guessed.
+  double unsure_rate = 0.8;
+  uint64_t seed = 42;
+};
+
+// Simulates the domain-expert labeler of §8: ground truth plus an explicit
+// "ambiguous" set (pairs even experts cannot decide — dirty/generic titles)
+// and a seeded noise model. Labels are a pure function of (pair, seed):
+// re-asking the oracle for the same pair returns the same label, like
+// re-reading a labeled spreadsheet.
+class OracleLabeler {
+ public:
+  OracleLabeler(CandidateSet gold_matches, CandidateSet ambiguous,
+                OracleOptions options = {});
+
+  // First-pass label, including noise and Unsure behaviour.
+  Label LabelPair(const RecordPair& pair) const;
+
+  // The corrected label after the §8 cross-check/debugging discussion:
+  // noise removed, but genuinely ambiguous pairs stay Unsure.
+  Label CorrectedLabel(const RecordPair& pair) const;
+
+  // Labels every pair of `pairs` into `out` (first pass).
+  void LabelAll(const CandidateSet& pairs, LabeledSet& out) const;
+
+  const CandidateSet& gold() const { return gold_; }
+
+ private:
+  uint64_t PairHash(const RecordPair& pair, uint64_t salt) const;
+
+  CandidateSet gold_;
+  CandidateSet ambiguous_;
+  OracleOptions options_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_LABELING_ORACLE_H_

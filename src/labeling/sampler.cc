@@ -1,0 +1,23 @@
+#include "src/labeling/sampler.h"
+
+#include "src/core/random.h"
+
+namespace emx {
+
+CandidateSet SamplePairs(const CandidateSet& candidates, size_t n,
+                         uint64_t seed, const LabeledSet& already_labeled) {
+  std::vector<RecordPair> pool;
+  pool.reserve(candidates.size());
+  for (const RecordPair& p : candidates) {
+    if (!already_labeled.Contains(p)) pool.push_back(p);
+  }
+  RandomEngine rng(seed);
+  if (pool.size() <= n) return CandidateSet(std::move(pool));
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(pool.size(), n);
+  std::vector<RecordPair> out;
+  out.reserve(n);
+  for (size_t i : picks) out.push_back(pool[i]);
+  return CandidateSet(std::move(out));
+}
+
+}  // namespace emx

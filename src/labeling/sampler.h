@@ -1,0 +1,20 @@
+#ifndef EMX_LABELING_SAMPLER_H_
+#define EMX_LABELING_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/block/candidate_set.h"
+#include "src/labeling/label.h"
+
+namespace emx {
+
+// Uniform random sample of up to `n` pairs from `candidates`, excluding
+// pairs already present in `already_labeled` — the paper labels in 100-pair
+// iterations, never re-sending a labeled pair (§8).
+CandidateSet SamplePairs(const CandidateSet& candidates, size_t n,
+                         uint64_t seed,
+                         const LabeledSet& already_labeled = {});
+
+}  // namespace emx
+
+#endif  // EMX_LABELING_SAMPLER_H_

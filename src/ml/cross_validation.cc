@@ -1,0 +1,75 @@
+#include "src/ml/cross_validation.h"
+
+#include <algorithm>
+
+namespace emx {
+
+Result<CvResult> CrossValidate(const MatcherFactory& factory,
+                               const Dataset& data, size_t k, uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("CrossValidate: k must be >= 2");
+  if (data.size() < k) {
+    return Status::InvalidArgument("CrossValidate: fewer rows than folds");
+  }
+  auto folds = StratifiedKFoldIndices(data.y, k, seed);
+  CvResult result;
+  for (size_t fold = 0; fold < k; ++fold) {
+    std::vector<size_t> train_idx;
+    for (size_t f = 0; f < k; ++f) {
+      if (f == fold) continue;
+      train_idx.insert(train_idx.end(), folds[f].begin(), folds[f].end());
+    }
+    Dataset train = data.Subset(train_idx);
+    Dataset test = data.Subset(folds[fold]);
+    std::unique_ptr<MlMatcher> model = factory();
+    if (result.matcher_name.empty()) result.matcher_name = model->name();
+    EMX_RETURN_IF_ERROR(model->Fit(train));
+    BinaryMetrics m = ComputeMetrics(test.y, model->Predict(test.x));
+    result.fold_metrics.push_back(m);
+    result.mean_precision += m.Precision();
+    result.mean_recall += m.Recall();
+    result.mean_f1 += m.F1();
+  }
+  double inv_k = 1.0 / static_cast<double>(k);
+  result.mean_precision *= inv_k;
+  result.mean_recall *= inv_k;
+  result.mean_f1 *= inv_k;
+  return result;
+}
+
+Result<std::vector<CvResult>> SelectMatcher(
+    const std::vector<MatcherFactory>& factories, const Dataset& data,
+    size_t k, uint64_t seed) {
+  std::vector<CvResult> results;
+  for (const auto& factory : factories) {
+    EMX_ASSIGN_OR_RETURN(CvResult r, CrossValidate(factory, data, k, seed));
+    results.push_back(std::move(r));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const CvResult& a, const CvResult& b) {
+                     return a.mean_f1 > b.mean_f1;
+                   });
+  return results;
+}
+
+Result<std::vector<int>> LeaveOneOutPredictions(const MatcherFactory& factory,
+                                                const Dataset& data) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("LeaveOneOut: need at least 2 rows");
+  }
+  std::vector<int> out(data.size(), 0);
+  std::vector<size_t> train_idx;
+  train_idx.reserve(data.size() - 1);
+  for (size_t i = 0; i < data.size(); ++i) {
+    train_idx.clear();
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (j != i) train_idx.push_back(j);
+    }
+    Dataset train = data.Subset(train_idx);
+    std::unique_ptr<MlMatcher> model = factory();
+    EMX_RETURN_IF_ERROR(model->Fit(train));
+    out[i] = model->Predict({data.x[i]})[0];
+  }
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,41 @@
+#ifndef EMX_ML_CROSS_VALIDATION_H_
+#define EMX_ML_CROSS_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/ml/matcher.h"
+#include "src/ml/metrics.h"
+
+namespace emx {
+
+// Averaged k-fold quality for one matcher.
+struct CvResult {
+  std::string matcher_name;
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  std::vector<BinaryMetrics> fold_metrics;
+};
+
+// Stratified k-fold cross validation of a single matcher family: trains a
+// fresh model per fold and averages precision/recall/F1 — the §9 selection
+// procedure ("five-fold cross validation on H").
+Result<CvResult> CrossValidate(const MatcherFactory& factory,
+                               const Dataset& data, size_t k, uint64_t seed);
+
+// Cross-validates every candidate family on the same folds and returns
+// results sorted descending by mean F1 (best first).
+Result<std::vector<CvResult>> SelectMatcher(
+    const std::vector<MatcherFactory>& factories, const Dataset& data,
+    size_t k, uint64_t seed);
+
+// Leave-one-out predictions: element i is the label predicted for row i by
+// a model trained on all other rows — the §8 label-debugging procedure.
+Result<std::vector<int>> LeaveOneOutPredictions(const MatcherFactory& factory,
+                                                const Dataset& data);
+
+}  // namespace emx
+
+#endif  // EMX_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,55 @@
+#include "src/ml/dataset.h"
+
+namespace emx {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  for (size_t i : indices) {
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<size_t>> StratifiedKFoldIndices(
+    const std::vector<int>& y, size_t k, uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos : neg).push_back(i);
+  }
+  rng.Shuffle(pos);
+  rng.Shuffle(neg);
+  std::vector<std::vector<size_t>> folds(k);
+  // Round-robin keeps per-fold class ratios within one sample of ideal.
+  for (size_t i = 0; i < pos.size(); ++i) folds[i % k].push_back(pos[i]);
+  for (size_t i = 0; i < neg.size(); ++i) folds[i % k].push_back(neg[i]);
+  return folds;
+}
+
+TrainTestSplit StratifiedSplit(const std::vector<int>& y,
+                               double test_fraction, uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos : neg).push_back(i);
+  }
+  rng.Shuffle(pos);
+  rng.Shuffle(neg);
+  TrainTestSplit split;
+  auto dispatch = [&](const std::vector<size_t>& cls) {
+    size_t n_test = static_cast<size_t>(
+        static_cast<double>(cls.size()) * test_fraction + 0.5);
+    for (size_t i = 0; i < cls.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(cls[i]);
+    }
+  };
+  dispatch(pos);
+  dispatch(neg);
+  return split;
+}
+
+}  // namespace emx

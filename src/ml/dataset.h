@@ -1,0 +1,43 @@
+#ifndef EMX_ML_DATASET_H_
+#define EMX_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/random.h"
+
+namespace emx {
+
+// A dense supervised learning problem: row-major features plus binary
+// labels (1 = match, 0 = non-match).
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::vector<std::string> feature_names;
+
+  size_t size() const { return x.size(); }
+  size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+
+  // Rows selected by `indices`, in order.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+};
+
+// Index folds for stratified k-fold cross-validation: every fold receives
+// (as close as possible) the same positive rate as the whole set. Shuffles
+// within each class with `seed`.
+std::vector<std::vector<size_t>> StratifiedKFoldIndices(
+    const std::vector<int>& y, size_t k, uint64_t seed);
+
+// A seeded stratified train/test split; `test_fraction` of each class goes
+// to the test set.
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+TrainTestSplit StratifiedSplit(const std::vector<int>& y,
+                               double test_fraction, uint64_t seed);
+
+}  // namespace emx
+
+#endif  // EMX_ML_DATASET_H_

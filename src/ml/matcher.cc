@@ -1,0 +1,15 @@
+#include "src/ml/matcher.h"
+
+namespace emx {
+
+std::vector<int> MlMatcher::Predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> proba = PredictProba(x);
+  std::vector<int> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    out[i] = proba[i] >= 0.5 ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,41 @@
+#ifndef EMX_ML_MATCHER_H_
+#define EMX_ML_MATCHER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/ml/dataset.h"
+
+namespace emx {
+
+// A trainable binary matcher over feature vectors — the C++ analogue of the
+// six scikit-learn matchers PyMatcher wraps (§9). Implementations are
+// deterministic given their seed options.
+class MlMatcher {
+ public:
+  virtual ~MlMatcher() = default;
+
+  // Trains on `data`. Fails on empty or single-class degenerate input only
+  // where the model genuinely cannot fit (e.g. no rows).
+  virtual Status Fit(const Dataset& data) = 0;
+
+  // Match probability per row, in [0, 1]. Requires a successful Fit.
+  virtual std::vector<double> PredictProba(
+      const std::vector<std::vector<double>>& x) const = 0;
+
+  // 0/1 labels at the 0.5 probability threshold.
+  std::vector<int> Predict(const std::vector<std::vector<double>>& x) const;
+
+  virtual std::string name() const = 0;
+};
+
+// Factory used by model selection / cross-validation to build a fresh,
+// untrained model per fold.
+using MatcherFactory = std::function<std::unique_ptr<MlMatcher>()>;
+
+}  // namespace emx
+
+#endif  // EMX_ML_MATCHER_H_

@@ -1,0 +1,37 @@
+#include "src/ml/metrics.h"
+
+#include "src/core/logging.h"
+#include "src/core/strings.h"
+
+namespace emx {
+
+BinaryMetrics ComputeMetrics(const std::vector<int>& y_true,
+                             const std::vector<int>& y_pred) {
+  EMX_CHECK(y_true.size() == y_pred.size())
+      << "metric input lengths differ: " << y_true.size() << " vs "
+      << y_pred.size();
+  BinaryMetrics m;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) {
+        ++m.tp;
+      } else {
+        ++m.fn;
+      }
+    } else {
+      if (y_pred[i] == 1) {
+        ++m.fp;
+      } else {
+        ++m.tn;
+      }
+    }
+  }
+  return m;
+}
+
+std::string BinaryMetrics::ToString() const {
+  return StrFormat("P=%.3f R=%.3f F1=%.3f (tp=%zu fp=%zu tn=%zu fn=%zu)",
+                   Precision(), Recall(), F1(), tp, fp, tn, fn);
+}
+
+}  // namespace emx

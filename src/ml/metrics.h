@@ -1,0 +1,44 @@
+#ifndef EMX_ML_METRICS_H_
+#define EMX_ML_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emx {
+
+// Binary classification quality (match = positive class).
+struct BinaryMetrics {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double Precision() const {
+    return (tp + fp) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return (tp + fn) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    size_t total = tp + fp + tn + fn;
+    return total == 0 ? 0.0
+                      : static_cast<double>(tp + tn) /
+                            static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
+// Tallies a confusion matrix; vectors must be equal length.
+BinaryMetrics ComputeMetrics(const std::vector<int>& y_true,
+                             const std::vector<int>& y_pred);
+
+}  // namespace emx
+
+#endif  // EMX_ML_METRICS_H_

@@ -1,0 +1,37 @@
+#ifndef EMX_ML_NAIVE_BAYES_H_
+#define EMX_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/matcher.h"
+
+namespace emx {
+
+// Gaussian naive Bayes: per-class, per-feature normal likelihoods with
+// variance smoothing, combined with class priors in log space.
+class NaiveBayesMatcher : public MlMatcher {
+ public:
+  NaiveBayesMatcher() = default;
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      const std::vector<std::vector<double>>& x) const override;
+  std::string name() const override { return "naive_bayes"; }
+
+ private:
+  struct ClassStats {
+    double log_prior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> var;
+  };
+  double LogLikelihood(const ClassStats& cs,
+                       const std::vector<double>& row) const;
+
+  ClassStats pos_, neg_;
+  bool fitted_ = false;
+};
+
+}  // namespace emx
+
+#endif  // EMX_ML_NAIVE_BAYES_H_

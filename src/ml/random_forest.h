@@ -1,0 +1,50 @@
+#ifndef EMX_ML_RANDOM_FOREST_H_
+#define EMX_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/matcher.h"
+
+namespace emx {
+
+struct RandomForestOptions {
+  size_t num_trees = 50;
+  int max_depth = 12;
+  size_t min_samples_leaf = 1;
+  // 0 = sqrt(num_features), the standard default.
+  size_t max_features = 0;
+  uint64_t seed = 7;
+};
+
+// Bagged ensemble of CART trees with per-split feature subsampling;
+// predicted probability is the mean of tree leaf probabilities.
+class RandomForestMatcher : public MlMatcher {
+ public:
+  explicit RandomForestMatcher(RandomForestOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      const std::vector<std::vector<double>>& x) const override;
+  std::string name() const override { return "random_forest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+  // Mean per-tree split share of each feature — the importance signal used
+  // when debugging which evidence the ensemble actually relies on.
+  std::vector<double> FeatureImportances(size_t num_features) const;
+
+  // Text round-trip of the whole ensemble (see DecisionTreeMatcher).
+  std::string Serialize() const;
+  static Result<RandomForestMatcher> Deserialize(const std::string& text);
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTreeMatcher> trees_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_ML_RANDOM_FOREST_H_

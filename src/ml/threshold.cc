@@ -1,0 +1,78 @@
+#include "src/ml/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/logging.h"
+
+namespace emx {
+
+namespace {
+
+BinaryMetrics MetricsAt(const std::vector<double>& proba,
+                        const std::vector<int>& y_true, double threshold) {
+  BinaryMetrics m;
+  for (size_t i = 0; i < proba.size(); ++i) {
+    bool pred = proba[i] >= threshold;
+    if (y_true[i] == 1) {
+      pred ? ++m.tp : ++m.fn;
+    } else {
+      pred ? ++m.fp : ++m.tn;
+    }
+  }
+  return m;
+}
+
+double Objective(const BinaryMetrics& m, ThresholdObjective objective,
+                 double recall_floor) {
+  switch (objective) {
+    case ThresholdObjective::kF1:
+      return m.F1();
+    case ThresholdObjective::kPrecisionAtRecallFloor:
+      return m.Recall() >= recall_floor ? m.Precision() : -1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ThresholdChoice SelectThreshold(const std::vector<double>& proba,
+                                const std::vector<int>& y_true,
+                                ThresholdObjective objective,
+                                double recall_floor) {
+  EMX_CHECK(proba.size() == y_true.size())
+      << "SelectThreshold: misaligned inputs";
+  // Candidate thresholds: midpoints between consecutive distinct scores,
+  // the scores' extremes, and the 0.5 default.
+  std::vector<double> sorted = proba;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<double> candidates = {0.5};
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    candidates.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+  }
+  if (!sorted.empty()) {
+    candidates.push_back(sorted.front());  // everything positive
+    candidates.push_back(sorted.back() + 1e-9);  // everything negative
+  }
+
+  ThresholdChoice best;
+  best.metrics = MetricsAt(proba, y_true, best.threshold);
+  double best_score = Objective(best.metrics, objective, recall_floor);
+  for (double t : candidates) {
+    BinaryMetrics m = MetricsAt(proba, y_true, t);
+    double score = Objective(m, objective, recall_floor);
+    bool better = score > best_score + 1e-12;
+    bool tie_closer_to_half =
+        std::abs(score - best_score) <= 1e-12 &&
+        std::abs(t - 0.5) < std::abs(best.threshold - 0.5) - 1e-12;
+    if (better || tie_closer_to_half) {
+      best_score = score;
+      best.threshold = t;
+      best.metrics = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace emx

@@ -1,0 +1,38 @@
+#ifndef EMX_ML_THRESHOLD_H_
+#define EMX_ML_THRESHOLD_H_
+
+#include <vector>
+
+#include "src/ml/metrics.h"
+
+namespace emx {
+
+// Decision-threshold tuning. Every matcher in emx scores pairs with a
+// probability and classifies at 0.5; when precision and recall trade off
+// asymmetrically (the §12 situation: false positives cost more than false
+// negatives once the expert-review budget is fixed), pick the threshold
+// that maximizes the chosen objective on a validation set instead.
+
+struct ThresholdChoice {
+  double threshold = 0.5;
+  BinaryMetrics metrics;  // at that threshold on the validation data
+};
+
+// The objective to maximize.
+enum class ThresholdObjective {
+  kF1,
+  kPrecisionAtRecallFloor,  // max precision subject to recall >= floor
+};
+
+// Sweeps the midpoints of consecutive distinct probabilities (plus 0.5)
+// and returns the best choice. `proba` and `y_true` align; ties prefer the
+// threshold closest to 0.5 for stability.
+ThresholdChoice SelectThreshold(const std::vector<double>& proba,
+                                const std::vector<int>& y_true,
+                                ThresholdObjective objective =
+                                    ThresholdObjective::kF1,
+                                double recall_floor = 0.9);
+
+}  // namespace emx
+
+#endif  // EMX_ML_THRESHOLD_H_

@@ -1,0 +1,140 @@
+#include "src/rules/feature_rules.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+bool FeaturePredicate::Holds(double value) const {
+  if (std::isnan(value)) return false;
+  switch (op) {
+    case Op::kGt:
+      return value > threshold;
+    case Op::kGe:
+      return value >= threshold;
+    case Op::kLt:
+      return value < threshold;
+    case Op::kLe:
+      return value <= threshold;
+    case Op::kEq:
+      return value == threshold;
+    case Op::kNe:
+      return value != threshold;
+  }
+  return false;
+}
+
+namespace {
+
+Result<FeaturePredicate::Op> ParseOp(const std::string& tok) {
+  using Op = FeaturePredicate::Op;
+  if (tok == ">") return Op::kGt;
+  if (tok == ">=") return Op::kGe;
+  if (tok == "<") return Op::kLt;
+  if (tok == "<=") return Op::kLe;
+  if (tok == "==") return Op::kEq;
+  if (tok == "!=") return Op::kNe;
+  return Status::InvalidArgument("unknown operator '" + tok + "'");
+}
+
+}  // namespace
+
+Result<FeatureRule> ParseFeatureRule(const std::string& name,
+                                     const std::string& expression) {
+  FeatureRule rule;
+  rule.name = name;
+  std::vector<std::string> tokens = SplitWhitespace(expression);
+  // Grammar: predicate (AND predicate)*, predicate = ident op number.
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (i + 2 >= tokens.size()) {
+      return Status::InvalidArgument(
+          "truncated predicate near token " + std::to_string(i) + " in '" +
+          expression + "'");
+    }
+    FeaturePredicate pred;
+    pred.feature = tokens[i];
+    EMX_ASSIGN_OR_RETURN(pred.op, ParseOp(tokens[i + 1]));
+    char* end = nullptr;
+    pred.threshold = std::strtod(tokens[i + 2].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad threshold '" + tokens[i + 2] + "'");
+    }
+    rule.predicates.push_back(std::move(pred));
+    i += 3;
+    if (i == tokens.size()) break;
+    if (tokens[i] != "AND") {
+      return Status::InvalidArgument("expected AND, found '" + tokens[i] +
+                                     "'");
+    }
+    ++i;
+    if (i == tokens.size()) {
+      return Status::InvalidArgument("dangling AND in '" + expression + "'");
+    }
+  }
+  if (rule.predicates.empty()) {
+    return Status::InvalidArgument("empty rule expression");
+  }
+  return rule;
+}
+
+Status FeatureRuleMatcher::AddRule(const std::string& name,
+                                   const std::string& expression) {
+  EMX_ASSIGN_OR_RETURN(FeatureRule rule, ParseFeatureRule(name, expression));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Result<std::vector<int>> FeatureRuleMatcher::Predict(
+    const FeatureMatrix& matrix) const {
+  EMX_ASSIGN_OR_RETURN(std::vector<int> firing, FiringRule(matrix));
+  std::vector<int> out(firing.size());
+  for (size_t i = 0; i < firing.size(); ++i) out[i] = firing[i] >= 0 ? 1 : 0;
+  return out;
+}
+
+Result<std::vector<int>> FeatureRuleMatcher::FiringRule(
+    const FeatureMatrix& matrix) const {
+  // Resolve feature names to column indices once.
+  std::vector<std::vector<std::pair<size_t, const FeaturePredicate*>>> bound(
+      rules_.size());
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    for (const FeaturePredicate& pred : rules_[r].predicates) {
+      size_t col = matrix.feature_names.size();
+      for (size_t c = 0; c < matrix.feature_names.size(); ++c) {
+        if (matrix.feature_names[c] == pred.feature) {
+          col = c;
+          break;
+        }
+      }
+      if (col == matrix.feature_names.size()) {
+        return Status::NotFound("rule '" + rules_[r].name +
+                                "' references unknown feature '" +
+                                pred.feature + "'");
+      }
+      bound[r].push_back({col, &pred});
+    }
+  }
+
+  std::vector<int> out(matrix.num_rows(), -1);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      bool all = true;
+      for (const auto& [col, pred] : bound[r]) {
+        if (!pred->Holds(matrix.rows[i][col])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        out[i] = static_cast<int>(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,125 @@
+#include "src/rules/match_rules.h"
+
+#include "src/rules/number_pattern.h"
+
+namespace emx {
+
+namespace {
+
+// Resolves both attribute values as (possibly transformed) strings; returns
+// false when either is null/empty.
+bool GetPairValues(
+    const Table& left, size_t lrow, const std::string& left_attr,
+    const Table& right, size_t rrow, const std::string& right_attr,
+    const std::function<std::string(const std::string&)>& lt,
+    const std::function<std::string(const std::string&)>& rt,
+    std::string* lv, std::string* rv) {
+  const Value& a = left.at(lrow, left_attr);
+  const Value& b = right.at(rrow, right_attr);
+  if (a.is_null() || b.is_null()) return false;
+  *lv = a.AsString();
+  *rv = b.AsString();
+  if (lt) *lv = lt(*lv);
+  if (rt) *rv = rt(*rv);
+  return !lv->empty() && !rv->empty();
+}
+
+}  // namespace
+
+MatchRule MakeEqualityRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr,
+    std::function<std::string(const std::string&)> left_transform,
+    std::function<std::string(const std::string&)> right_transform) {
+  return {rule_name,
+          [=](const Table& l, size_t lr, const Table& r, size_t rr) {
+            std::string lv, rv;
+            if (!GetPairValues(l, lr, left_attr, r, rr, right_attr,
+                               left_transform, right_transform, &lv, &rv)) {
+              return false;
+            }
+            return lv == rv;
+          }};
+}
+
+MatchRule MakeM1AwardNumberRule(const std::string& left_award_attr,
+                                const std::string& right_award_attr) {
+  return MakeEqualityRule(
+      "M1_award_number", left_award_attr, right_award_attr,
+      [](const std::string& s) { return AwardNumberSuffix(s); }, nullptr);
+}
+
+MatchRule MakeAwardProjectNumberRule(const std::string& left_award_attr,
+                                     const std::string& right_project_attr) {
+  return MakeEqualityRule(
+      "M4_award_eq_project_number", left_award_attr, right_project_attr,
+      [](const std::string& s) { return AwardNumberSuffix(s); }, nullptr);
+}
+
+MatchRule MakeComparableMismatchRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr,
+    std::function<std::string(const std::string&)> left_transform,
+    std::function<std::string(const std::string&)> right_transform) {
+  return {rule_name,
+          [=](const Table& l, size_t lr, const Table& r, size_t rr) {
+            std::string lv, rv;
+            if (!GetPairValues(l, lr, left_attr, r, rr, right_attr,
+                               left_transform, right_transform, &lv, &rv)) {
+              return false;
+            }
+            return ArePatternComparable(lv, rv) && lv != rv;
+          }};
+}
+
+Result<CandidateSet> ApplyRulesCartesian(const std::vector<MatchRule>& rules,
+                                         const Table& left,
+                                         const Table& right) {
+  std::vector<RecordPair> out;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      for (const MatchRule& rule : rules) {
+        if (rule.fires(left, l, right, r)) {
+          out.push_back({static_cast<uint32_t>(l), static_cast<uint32_t>(r)});
+          break;
+        }
+      }
+    }
+  }
+  return CandidateSet(std::move(out));
+}
+
+Result<CandidateSet> ApplyRulesToPairs(const std::vector<MatchRule>& rules,
+                                       const Table& left, const Table& right,
+                                       const CandidateSet& pairs) {
+  std::vector<RecordPair> out;
+  for (const RecordPair& p : pairs) {
+    for (const MatchRule& rule : rules) {
+      if (rule.fires(left, p.left, right, p.right)) {
+        out.push_back(p);
+        break;
+      }
+    }
+  }
+  return CandidateSet(std::move(out));
+}
+
+Result<CandidateSet> FilterWithNegativeRules(
+    const std::vector<MatchRule>& negative_rules, const Table& left,
+    const Table& right, const CandidateSet& matches, CandidateSet* flipped) {
+  std::vector<RecordPair> kept, removed;
+  for (const RecordPair& p : matches) {
+    bool fired = false;
+    for (const MatchRule& rule : negative_rules) {
+      if (rule.fires(left, p.left, right, p.right)) {
+        fired = true;
+        break;
+      }
+    }
+    (fired ? removed : kept).push_back(p);
+  }
+  if (flipped != nullptr) *flipped = CandidateSet(std::move(removed));
+  return CandidateSet(std::move(kept));
+}
+
+}  // namespace emx

@@ -1,0 +1,77 @@
+#ifndef EMX_RULES_MATCH_RULES_H_
+#define EMX_RULES_MATCH_RULES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// A hand-crafted rule over a record pair. Positive rules declare sure
+// matches (M1, and §10's award-number = project-number rule); negative
+// rules flip predicted matches to non-matches (§12).
+struct MatchRule {
+  std::string name;
+  std::function<bool(const Table& left, size_t left_row, const Table& right,
+                     size_t right_row)>
+      fires;
+};
+
+// --- Positive rule factories -------------------------------------------
+
+// Fires when transform(left[left_attr]) == right[right_attr], both sides
+// non-null/non-empty. With the AwardNumberSuffix transform this is exactly
+// M1.
+MatchRule MakeEqualityRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr,
+    std::function<std::string(const std::string&)> left_transform = nullptr,
+    std::function<std::string(const std::string&)> right_transform = nullptr);
+
+// M1: suffix of the UMETRICS UniqueAwardNumber equals the USDA AwardNumber.
+MatchRule MakeM1AwardNumberRule(const std::string& left_award_attr,
+                                const std::string& right_award_attr);
+
+// §10 positive rule: UMETRICS award number (suffix) equals USDA project
+// number.
+MatchRule MakeAwardProjectNumberRule(const std::string& left_award_attr,
+                                     const std::string& right_project_attr);
+
+// --- Negative rule factories -------------------------------------------
+
+// §12 negative rule: fires (meaning NON-match) when the two attributes are
+// pattern-comparable but unequal. Optional transforms mirror the positive
+// rules.
+MatchRule MakeComparableMismatchRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr,
+    std::function<std::string(const std::string&)> left_transform = nullptr,
+    std::function<std::string(const std::string&)> right_transform = nullptr);
+
+// --- Application helpers ------------------------------------------------
+
+// Pairs of A × B where any rule fires. Equality-style rules at this scale
+// run fine on the Cartesian product; the blockers exist for larger inputs.
+Result<CandidateSet> ApplyRulesCartesian(const std::vector<MatchRule>& rules,
+                                         const Table& left,
+                                         const Table& right);
+
+// Pairs of `pairs` where any rule fires.
+Result<CandidateSet> ApplyRulesToPairs(const std::vector<MatchRule>& rules,
+                                       const Table& left, const Table& right,
+                                       const CandidateSet& pairs);
+
+// Removes from `matches` every pair where any negative rule fires;
+// `flipped` (optional) receives the removed pairs.
+Result<CandidateSet> FilterWithNegativeRules(
+    const std::vector<MatchRule>& negative_rules, const Table& left,
+    const Table& right, const CandidateSet& matches,
+    CandidateSet* flipped = nullptr);
+
+}  // namespace emx
+
+#endif  // EMX_RULES_MATCH_RULES_H_

@@ -1,0 +1,50 @@
+#include "src/rules/number_pattern.h"
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+std::string PatternSignature(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  // Leading 4-digit year group.
+  if (s.size() >= 4 && IsAllDigits(s.substr(0, 4)) &&
+      (s.size() == 4 || !(s[4] >= '0' && s[4] <= '9'))) {
+    int year = (s[0] - '0') * 1000 + (s[1] - '0') * 100 + (s[2] - '0') * 10 +
+               (s[3] - '0');
+    if (year >= 1900 && year <= 2100) {
+      out += "YYYY";
+      i = 4;
+    }
+  }
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= '0' && c <= '9') {
+      out += '#';
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      out += 'X';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool ArePatternComparable(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return false;
+  return PatternSignature(a) == PatternSignature(b);
+}
+
+std::string AwardNumberSuffix(const std::string& unique_award_number) {
+  for (size_t i = 0; i < unique_award_number.size(); ++i) {
+    char c = unique_award_number[i];
+    if (c == ' ' || c == '\t') {
+      std::string_view rest(unique_award_number);
+      return std::string(StripWhitespace(rest.substr(i + 1)));
+    }
+  }
+  return unique_award_number;
+}
+
+}  // namespace emx

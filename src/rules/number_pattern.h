@@ -1,0 +1,31 @@
+#ifndef EMX_RULES_NUMBER_PATTERN_H_
+#define EMX_RULES_NUMBER_PATTERN_H_
+
+#include <string>
+#include <string_view>
+
+namespace emx {
+
+// Derives the shape signature of an award/project number the way the
+// UMETRICS team described "comparable" numbers (§12): digits become '#',
+// letters become 'X', separators are kept verbatim, and a leading 4-digit
+// group parsing to a plausible year becomes "YYYY".
+//
+//   "03-CS-112313000-031"  -> "##-XX-#########-###"
+//   "2001-34101-10526"     -> "YYYY-#####-#####"
+//   "WIS01560"             -> "XXX#####"
+std::string PatternSignature(std::string_view s);
+
+// Two numbers are comparable iff they share a pattern signature; the §12
+// negative rule only fires on comparable-but-unequal values.
+bool ArePatternComparable(std::string_view a, std::string_view b);
+
+// The UMETRICS "UniqueAwardNumber" takes the form
+// "XX.XXX YYYY-YYYY-YYYYY-YYYYY"; M1 compares its part after the first
+// whitespace against the USDA award number. Returns the suffix (the whole
+// string when no whitespace is present).
+std::string AwardNumberSuffix(const std::string& unique_award_number);
+
+}  // namespace emx
+
+#endif  // EMX_RULES_NUMBER_PATTERN_H_

@@ -1,0 +1,215 @@
+#include "src/table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace emx {
+
+namespace {
+
+// Splits raw CSV content into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& content, char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_field = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_was_quoted = false;
+    any_field = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && content[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else {
+      if (c == '"' && field.empty() && !field_was_quoted) {
+        in_quotes = true;
+        field_was_quoted = true;
+        any_field = true;
+        ++i;
+      } else if (c == delim) {
+        end_field();
+        any_field = true;  // a delimiter implies a following (maybe empty) field
+        ++i;
+      } else if (c == '\r') {
+        // Swallow; \r\n and bare \r both end the record at the \n / next char.
+        ++i;
+        if (i < n && content[i] == '\n') continue;  // handled by \n branch
+        end_record();
+      } else if (c == '\n') {
+        end_record();
+        ++i;
+      } else {
+        field += c;
+        any_field = true;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field at end of input");
+  }
+  // Flush a final record that lacked a trailing newline.
+  if (any_field || !field.empty() || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+// Returns a typed Value for an unquoted CSV field.
+Value InferValue(const std::string& field) {
+  if (field.empty()) return Value::Null();
+  // Fast reject: numerics start with digit, sign, or dot.
+  char c0 = field[0];
+  if (!(c0 == '-' || c0 == '+' || c0 == '.' || (c0 >= '0' && c0 <= '9'))) {
+    return Value(field);
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long ll = std::strtoll(field.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    return Value(static_cast<int64_t>(ll));
+  }
+  errno = 0;
+  double d = std::strtod(field.c_str(), &end);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    return Value(d);
+  }
+  return Value(field);
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& content,
+                            const CsvReadOptions& options) {
+  EMX_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                       Tokenize(content, options.delimiter));
+  if (records.empty()) return Table();
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("col" + std::to_string(i));
+    }
+  }
+  Table table(Schema::FromNames(names));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    const auto& rec = records[r];
+    if (rec.size() != names.size()) {
+      return Status::ParseError(
+          "record " + std::to_string(r) + " has " +
+          std::to_string(rec.size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(rec.size());
+    for (const auto& f : rec) {
+      if (f.empty()) {
+        row.push_back(Value::Null());
+      } else if (options.infer_types) {
+        row.push_back(InferValue(f));
+      } else {
+        row.push_back(Value(f));
+      }
+    }
+    EMX_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), options);
+}
+
+namespace {
+
+void AppendEscaped(const std::string& field, char delim, std::string& out) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
+  std::string out;
+  const auto names = table.schema().names();
+  if (options.write_header) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += options.delimiter;
+      AppendEscaped(names[i], options.delimiter, out);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      const Value& v = table.at(r, c);
+      if (!v.is_null()) AppendEscaped(v.AsString(), options.delimiter, out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace emx

@@ -1,0 +1,49 @@
+#ifndef EMX_TABLE_CSV_H_
+#define EMX_TABLE_CSV_H_
+
+#include <string>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+struct CsvReadOptions {
+  char delimiter = ',';
+  // When true, the first record supplies column names; otherwise columns are
+  // named "col0", "col1", ...
+  bool has_header = true;
+  // When true, unquoted fields that parse as integers/doubles become typed
+  // values and empty fields become null. When false, every field is a string
+  // (empty fields still become null).
+  bool infer_types = true;
+};
+
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+};
+
+// Parses RFC-4180 CSV content (quoted fields, doubled quotes, embedded
+// delimiters/newlines inside quotes) into a Table. Rows with a field count
+// different from the header are a ParseError.
+Result<Table> ReadCsvString(const std::string& content,
+                            const CsvReadOptions& options = {});
+
+// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+// Serializes a table as CSV; fields containing the delimiter, quotes, or
+// newlines are quoted, quotes doubled. Nulls serialize as empty fields.
+std::string WriteCsvString(const Table& table,
+                           const CsvWriteOptions& options = {});
+
+// Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options = {});
+
+}  // namespace emx
+
+#endif  // EMX_TABLE_CSV_H_

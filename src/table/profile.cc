@@ -1,0 +1,87 @@
+#include "src/table/profile.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace emx {
+
+namespace {
+
+ColumnProfile ProfileValues(const std::string& name,
+                            const std::vector<Value>& values, size_t top_k) {
+  ColumnProfile p;
+  p.name = name;
+  p.count = values.size();
+  std::unordered_map<std::string, size_t> freq;
+  std::vector<double> numerics;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      ++p.missing;
+      continue;
+    }
+    ++freq[v.AsString()];
+    if (v.is_numeric()) numerics.push_back(v.AsDouble());
+  }
+  p.unique = freq.size();
+  p.numeric_count = numerics.size();
+  if (!numerics.empty()) {
+    double sum = 0.0;
+    p.min = numerics[0];
+    p.max = numerics[0];
+    for (double d : numerics) {
+      sum += d;
+      p.min = std::min(p.min, d);
+      p.max = std::max(p.max, d);
+    }
+    p.mean = sum / static_cast<double>(numerics.size());
+    std::sort(numerics.begin(), numerics.end());
+    size_t m = numerics.size() / 2;
+    p.median = (numerics.size() % 2 == 1)
+                   ? numerics[m]
+                   : 0.5 * (numerics[m - 1] + numerics[m]);
+  }
+  std::vector<std::pair<std::string, size_t>> tops(freq.begin(), freq.end());
+  std::sort(tops.begin(), tops.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (tops.size() > top_k) tops.resize(top_k);
+  p.top_values = std::move(tops);
+  return p;
+}
+
+}  // namespace
+
+TableProfile ProfileTable(const Table& table, const ProfileOptions& options) {
+  TableProfile tp;
+  tp.num_rows = table.num_rows();
+  tp.num_columns = table.num_columns();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    tp.columns.push_back(ProfileValues(table.schema().field(c).name,
+                                       table.column(c), options.top_k));
+  }
+  return tp;
+}
+
+Result<ColumnProfile> ProfileColumn(const Table& table, const std::string& name,
+                                    const ProfileOptions& options) {
+  EMX_ASSIGN_OR_RETURN(const std::vector<Value>* col, table.ColumnByName(name));
+  return ProfileValues(name, *col, options.top_k);
+}
+
+std::string TableProfile::ToString() const {
+  std::ostringstream os;
+  os << "rows=" << num_rows << " cols=" << num_columns << "\n";
+  for (const auto& c : columns) {
+    os << "  " << c.name << ": missing=" << c.missing << " unique=" << c.unique;
+    if (c.numeric_count > 0) {
+      os << " mean=" << c.mean << " median=" << c.median << " min=" << c.min
+         << " max=" << c.max;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace emx

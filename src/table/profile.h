@@ -1,0 +1,51 @@
+#ifndef EMX_TABLE_PROFILE_H_
+#define EMX_TABLE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace emx {
+
+// Summary statistics for one column — the pandas-profiling analogue used in
+// the paper's "understanding the data" step (§4): counts, missing, unique,
+// numeric moments, and the most frequent values.
+struct ColumnProfile {
+  std::string name;
+  size_t count = 0;          // rows
+  size_t missing = 0;        // null cells
+  size_t unique = 0;         // distinct non-null values
+  size_t numeric_count = 0;  // cells with numeric content
+  double mean = 0.0;         // over numeric cells
+  double median = 0.0;       // over numeric cells
+  double min = 0.0;
+  double max = 0.0;
+  // Most frequent non-null values, descending by count (ties broken by
+  // value) — at most `top_k` entries.
+  std::vector<std::pair<std::string, size_t>> top_values;
+};
+
+struct TableProfile {
+  size_t num_rows = 0;
+  size_t num_columns = 0;
+  std::vector<ColumnProfile> columns;
+
+  std::string ToString() const;
+};
+
+struct ProfileOptions {
+  size_t top_k = 5;
+};
+
+// Profiles every column of `table`.
+TableProfile ProfileTable(const Table& table, const ProfileOptions& options = {});
+
+// Profiles a single column by name.
+Result<ColumnProfile> ProfileColumn(const Table& table,
+                                    const std::string& name,
+                                    const ProfileOptions& options = {});
+
+}  // namespace emx
+
+#endif  // EMX_TABLE_PROFILE_H_

@@ -1,0 +1,65 @@
+#include "src/table/schema.h"
+
+namespace emx {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  RebuildIndex();
+}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const auto& n : names) fields.push_back({n, DataType::kAny});
+  return Schema(std::move(fields));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status Schema::AddField(Field f) {
+  if (Contains(f.name)) {
+    return Status::AlreadyExists("duplicate field name: " + f.name);
+  }
+  index_[f.name] = static_cast<int>(fields_.size());
+  fields_.push_back(std::move(f));
+  return Status::OK();
+}
+
+Status Schema::RenameField(const std::string& from, const std::string& to) {
+  int i = IndexOf(from);
+  if (i < 0) return Status::NotFound("no field named " + from);
+  if (from == to) return Status::OK();
+  if (Contains(to)) return Status::AlreadyExists("field exists: " + to);
+  fields_[i].name = to;
+  RebuildIndex();
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::names() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& f : fields_) out.push_back(f.name);
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Schema::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_[fields_[i].name] = static_cast<int>(i);
+  }
+}
+
+}  // namespace emx

@@ -1,0 +1,56 @@
+#ifndef EMX_TABLE_SCHEMA_H_
+#define EMX_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
+#include "src/table/value.h"
+
+namespace emx {
+
+// A named, typed column declaration.
+struct Field {
+  std::string name;
+  DataType type = DataType::kAny;
+};
+
+// An ordered list of fields with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  // Convenience: all-kAny fields from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Index of the field named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  // Appends a field; fails on duplicate name.
+  Status AddField(Field f);
+
+  // Renames field `from` to `to`; fails if `from` is absent or `to` exists.
+  Status RenameField(const std::string& from, const std::string& to);
+
+  std::vector<std::string> names() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  void RebuildIndex();
+
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_TABLE_SCHEMA_H_

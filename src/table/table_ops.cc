@@ -1,0 +1,149 @@
+#include "src/table/table_ops.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace emx {
+
+Result<Table> Project(const Table& table,
+                      const std::vector<std::string>& columns) {
+  std::vector<Field> fields;
+  std::vector<int> src;
+  for (const auto& name : columns) {
+    int i = table.schema().IndexOf(name);
+    if (i < 0) return Status::NotFound("no column named " + name);
+    fields.push_back(table.schema().field(static_cast<size_t>(i)));
+    src.push_back(i);
+  }
+  Table out((Schema(std::move(fields))));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(src.size());
+    for (int c : src) row.push_back(table.at(r, static_cast<size_t>(c)));
+    EMX_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> RenameColumns(
+    const Table& table,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  Table out = table;
+  for (const auto& [from, to] : renames) {
+    EMX_RETURN_IF_ERROR(out.RenameColumn(from, to));
+  }
+  return out;
+}
+
+Table Select(const Table& table,
+             const std::function<bool(const Table&, size_t)>& pred) {
+  Table out(table.schema());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (pred(table, r)) {
+      // AppendRow cannot fail here: the row width matches by construction.
+      (void)out.AppendRow(table.Row(r));
+    }
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key) {
+  int lk = left.schema().IndexOf(left_key);
+  if (lk < 0) return Status::NotFound("no left column named " + left_key);
+  int rk = right.schema().IndexOf(right_key);
+  if (rk < 0) return Status::NotFound("no right column named " + right_key);
+
+  // Output schema: left columns, then right columns minus the join key,
+  // disambiguating collisions with a "_right" suffix.
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<int> right_cols;
+  Schema out_schema(fields);
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (static_cast<int>(c) == rk) continue;
+    Field f = right.schema().field(c);
+    if (out_schema.Contains(f.name)) f.name += "_right";
+    EMX_RETURN_IF_ERROR(out_schema.AddField(f));
+    right_cols.push_back(static_cast<int>(c));
+  }
+
+  // Build side: hash the smaller conceptually; here always the right table,
+  // which is the dimension side in all §6 uses.
+  std::unordered_multimap<std::string, size_t> build;
+  build.reserve(right.num_rows() * 2);
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    const Value& k = right.at(r, static_cast<size_t>(rk));
+    if (!k.is_null()) build.emplace(k.AsString(), r);
+  }
+
+  Table out(out_schema);
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    const Value& k = left.at(r, static_cast<size_t>(lk));
+    if (k.is_null()) continue;
+    auto [lo, hi] = build.equal_range(k.AsString());
+    for (auto it = lo; it != hi; ++it) {
+      std::vector<Value> row = left.Row(r);
+      for (int c : right_cols) {
+        row.push_back(right.at(it->second, static_cast<size_t>(c)));
+      }
+      EMX_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+Result<Table> GroupConcat(const Table& table, const std::string& key_col,
+                          const std::string& value_col,
+                          const std::string& sep) {
+  int kc = table.schema().IndexOf(key_col);
+  if (kc < 0) return Status::NotFound("no column named " + key_col);
+  int vc = table.schema().IndexOf(value_col);
+  if (vc < 0) return Status::NotFound("no column named " + value_col);
+
+  // std::map keeps output deterministic (sorted by key).
+  std::map<std::string, std::string> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& k = table.at(r, static_cast<size_t>(kc));
+    const Value& v = table.at(r, static_cast<size_t>(vc));
+    if (k.is_null() || v.is_null()) continue;
+    std::string& acc = groups[k.AsString()];
+    if (!acc.empty()) acc += sep;
+    acc += v.AsString();
+  }
+  Table out(Schema({{key_col, DataType::kString}, {value_col, DataType::kString}}));
+  for (auto& [k, v] : groups) {
+    EMX_RETURN_IF_ERROR(out.AppendRow({Value(k), Value(v)}));
+  }
+  return out;
+}
+
+Result<Table> AddIdColumn(const Table& table, const std::string& name) {
+  if (table.schema().Contains(name)) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  std::vector<Field> fields;
+  fields.push_back({name, DataType::kInt64});
+  for (const auto& f : table.schema().fields()) fields.push_back(f);
+  Table out((Schema(std::move(fields))));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(table.num_columns() + 1);
+    row.push_back(Value(static_cast<int64_t>(r)));
+    for (size_t c = 0; c < table.num_columns(); ++c) row.push_back(table.at(r, c));
+    EMX_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> ConcatRows(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("ConcatRows: schemas differ");
+  }
+  Table out = a;
+  for (size_t r = 0; r < b.num_rows(); ++r) {
+    EMX_RETURN_IF_ERROR(out.AppendRow(b.Row(r)));
+  }
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,49 @@
+#ifndef EMX_TABLE_TABLE_OPS_H_
+#define EMX_TABLE_TABLE_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// Relational operators used by the paper's pre-processing step (§6):
+// projection, renaming, selection, key-joins, and id assignment. All return
+// new tables; inputs are untouched.
+
+// Keeps only `columns`, in the given order.
+Result<Table> Project(const Table& table, const std::vector<std::string>& columns);
+
+// Renames columns pairwise: renames[i].first -> renames[i].second.
+Result<Table> RenameColumns(
+    const Table& table,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+// Keeps rows where `pred(table, row)` is true.
+Table Select(const Table& table,
+             const std::function<bool(const Table&, size_t)>& pred);
+
+// Inner hash equi-join on left[left_key] == right[right_key] (null keys
+// never match). Output columns: all left columns, then right columns except
+// `right_key`; right columns whose names collide get a "_right" suffix.
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key);
+
+// Group-concatenates `value_col` per distinct `key_col` value, joining with
+// `sep` — the paper concatenates employee names per award with '|'.
+// Output schema: (key_col, value_col).
+Result<Table> GroupConcat(const Table& table, const std::string& key_col,
+                          const std::string& value_col, const std::string& sep);
+
+// Prepends an integer id column `name` valued 0..n-1.
+Result<Table> AddIdColumn(const Table& table, const std::string& name);
+
+// Concatenates rows of two tables with equal schemas.
+Result<Table> ConcatRows(const Table& a, const Table& b);
+
+}  // namespace emx
+
+#endif  // EMX_TABLE_TABLE_OPS_H_

@@ -1,0 +1,84 @@
+#include "src/table/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace emx {
+
+std::string_view DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt(int64_t fallback) const {
+  if (is_int()) return std::get<int64_t>(v_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+  return fallback;
+}
+
+double Value::AsDouble(double fallback) const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  if (is_double()) return std::get<double>(v_);
+  return fallback;
+}
+
+std::string Value::AsString(std::string_view fallback) const {
+  if (is_string()) return std::get<std::string>(v_);
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_double()) {
+    char buf[32];
+    double d = std::get<double>(v_);
+    // Integral doubles print without the trailing ".000000" noise.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", d);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g", d);
+    }
+    return buf;
+  }
+  return std::string(fallback);
+}
+
+std::string_view Value::AsStringView() const {
+  if (is_string()) return std::get<std::string>(v_);
+  return {};
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() == other.AsDouble();
+  }
+  if (is_string() && other.is_string()) {
+    return std::get<std::string>(v_) == std::get<std::string>(other.v_);
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 1) return AsDouble() < other.AsDouble();
+  if (ra == 2) {
+    return std::get<std::string>(v_) < std::get<std::string>(other.v_);
+  }
+  return false;  // both null
+}
+
+}  // namespace emx

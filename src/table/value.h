@@ -1,0 +1,72 @@
+#ifndef EMX_TABLE_VALUE_H_
+#define EMX_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace emx {
+
+// Column data types. kAny is only used by schema declarations that accept
+// mixed content (e.g. CSV columns before type inference).
+enum class DataType { kNull = 0, kInt64, kDouble, kString, kAny };
+
+std::string_view DataTypeToString(DataType t);
+
+// A nullable scalar cell: null, 64-bit integer, double, or string.
+//
+// Value is a passive data holder (paper tables carry heterogeneous, dirty
+// CSV content, so a dynamically-typed cell is the natural representation);
+// typed accessors coerce where a coercion is standard (int -> double,
+// numeric -> string) and otherwise return a fallback.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}  // null
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const {
+    if (is_int()) return DataType::kInt64;
+    if (is_double()) return DataType::kDouble;
+    if (is_string()) return DataType::kString;
+    return DataType::kNull;
+  }
+
+  // Integer content; doubles truncate; otherwise `fallback`.
+  int64_t AsInt(int64_t fallback = 0) const;
+
+  // Numeric content widened to double; otherwise `fallback`.
+  double AsDouble(double fallback = 0.0) const;
+
+  // String content; numerics are formatted; null yields `fallback`.
+  std::string AsString(std::string_view fallback = "") const;
+
+  // String view without copying; only valid for string values.
+  std::string_view AsStringView() const;
+
+  // Structural equality: same type and same content. Null == Null.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Ordering for sorting/display: null < numerics (by value) < strings
+  // (lexicographic).
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_TABLE_VALUE_H_

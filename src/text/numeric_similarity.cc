@@ -1,0 +1,22 @@
+#include "src/text/numeric_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emx {
+
+double AbsoluteDifference(double a, double b) { return std::abs(a - b); }
+
+double RelativeDifference(double a, double b) {
+  double mx = std::max(std::abs(a), std::abs(b));
+  if (mx == 0.0) return 0.0;
+  return std::abs(a - b) / mx;
+}
+
+double RelativeSimilarity(double a, double b) {
+  return std::clamp(1.0 - RelativeDifference(a, b), 0.0, 1.0);
+}
+
+double NumericExactMatch(double a, double b) { return a == b ? 1.0 : 0.0; }
+
+}  // namespace emx

@@ -1,0 +1,23 @@
+#ifndef EMX_TEXT_NUMERIC_SIMILARITY_H_
+#define EMX_TEXT_NUMERIC_SIMILARITY_H_
+
+namespace emx {
+
+// Numeric comparison features (the "absolute difference, exact match"
+// features of footnote 7).
+
+// |a - b|.
+double AbsoluteDifference(double a, double b);
+
+// |a - b| / max(|a|, |b|); 0 when both are 0.
+double RelativeDifference(double a, double b);
+
+// 1 - RelativeDifference, clamped to [0,1] — a similarity in [0,1].
+double RelativeSimilarity(double a, double b);
+
+// 1.0 if equal else 0.0.
+double NumericExactMatch(double a, double b);
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_NUMERIC_SIMILARITY_H_

@@ -1,0 +1,120 @@
+#include "src/text/phonetic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace emx {
+
+namespace {
+
+// Soundex digit classes; 0 means "not coded" (vowels, h, w, y).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsVowelish(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' || c == 'y';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view s) {
+  // Collect alphabetic characters, lowercased.
+  std::string letters;
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (letters.empty()) return "";
+
+  std::string code;
+  code += static_cast<char>(
+      std::toupper(static_cast<unsigned char>(letters[0])));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char d = SoundexDigit(c);
+    if (d != '0' && d != prev_digit) {
+      code += d;
+    }
+    // 'h' and 'w' are transparent: the previous digit persists across them;
+    // vowels reset the adjacency rule.
+    if (IsVowelish(c)) {
+      prev_digit = '0';
+    } else if (c != 'h' && c != 'w') {
+      prev_digit = d;
+    }
+  }
+  while (code.size() < 4) code += '0';
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a), cb = Soundex(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  return ca == cb ? 1.0 : 0.0;
+}
+
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double match, double mismatch, double gap_open,
+                           double gap_extend) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0 || n == 0) return (m == n) ? 1.0 : 0.0;
+  constexpr double kNegInf = -1e18;
+  // Gotoh's three-state DP: M = match/mismatch, X = gap in b (consuming a),
+  // Y = gap in a (consuming b). Full tables — inputs are short strings.
+  std::vector<std::vector<double>> M(m + 1, std::vector<double>(n + 1, kNegInf));
+  std::vector<std::vector<double>> X = M, Y = M;
+  M[0][0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    X[i][0] = gap_open + gap_extend * static_cast<double>(i - 1);
+  }
+  for (size_t j = 1; j <= n; ++j) {
+    Y[0][j] = gap_open + gap_extend * static_cast<double>(j - 1);
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      double sub = (a[i - 1] == b[j - 1]) ? match : mismatch;
+      double diag = std::max({M[i - 1][j - 1], X[i - 1][j - 1], Y[i - 1][j - 1]});
+      M[i][j] = diag + sub;
+      X[i][j] = std::max({M[i - 1][j] + gap_open, X[i - 1][j] + gap_extend,
+                          Y[i - 1][j] + gap_open});
+      Y[i][j] = std::max({M[i][j - 1] + gap_open, Y[i][j - 1] + gap_extend,
+                          X[i][j - 1] + gap_open});
+    }
+  }
+  double score = std::max({M[m][n], X[m][n], Y[m][n]});
+  double norm = score / (match * static_cast<double>(std::min(m, n)));
+  return std::clamp(norm, 0.0, 1.0);
+}
+
+}  // namespace emx

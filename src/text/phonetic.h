@@ -1,0 +1,31 @@
+#ifndef EMX_TEXT_PHONETIC_H_
+#define EMX_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace emx {
+
+// Phonetic encodings for person-name matching (the paper's M3 evidence —
+// "comparing the individuals involved in the project" — must survive
+// spelling drift like KERMICLE/KURMICKLE).
+
+// American Soundex: first letter + three digits, zero-padded ("Robert" ->
+// "R163"). Non-alphabetic characters are ignored; empty/uncodable input
+// yields "".
+std::string Soundex(std::string_view s);
+
+// 1.0 if both encode to the same non-empty Soundex code, else 0.0.
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+// Affine-gap alignment similarity: like Needleman-Wunsch, but opening a
+// gap costs more than extending one, so "Smith, J" vs "Smith, John R"
+// (one long insertion) scores higher than scattered edits. Returns a
+// score normalized into [0, 1] by min(|a|, |b|).
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double match = 1.0, double mismatch = -0.5,
+                           double gap_open = -1.0, double gap_extend = -0.2);
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_PHONETIC_H_

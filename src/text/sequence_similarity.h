@@ -1,0 +1,50 @@
+#ifndef EMX_TEXT_SEQUENCE_SIMILARITY_H_
+#define EMX_TEXT_SEQUENCE_SIMILARITY_H_
+
+#include <string_view>
+
+namespace emx {
+
+// Character-sequence similarity measures. All Similarity() variants return a
+// score in [0, 1] where 1 means identical; raw distances/scores are exposed
+// separately where the unnormalized value is meaningful.
+
+// Unit-cost edit distance (insert / delete / substitute).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+// 1 - distance / max(|a|, |b|); two empty strings score 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+// Jaro similarity (match window floor(max/2)-1, transposition-aware).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler with prefix scale `p` (standard 0.1, prefix capped at 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double p = 0.1);
+
+// Global alignment score, match=+1, mismatch/gap=-0.5 by default.
+double NeedlemanWunschScore(std::string_view a, std::string_view b,
+                            double match = 1.0, double mismatch = -0.5,
+                            double gap = -0.5);
+
+// NW score normalized to [0,1] by max(|a|,|b|) (clamped at 0).
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b);
+
+// Local alignment score (Smith-Waterman), match=+1, mismatch/gap=-0.5.
+double SmithWatermanScore(std::string_view a, std::string_view b,
+                          double match = 1.0, double mismatch = -0.5,
+                          double gap = -0.5);
+
+// SW score normalized by min(|a|,|b|) (clamped to [0,1]).
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+// Fraction of equal positions; strings of different length score by the
+// shorter length over the longer (positional prefix agreement).
+double HammingSimilarity(std::string_view a, std::string_view b);
+
+// 1.0 if equal else 0.0.
+double ExactMatch(std::string_view a, std::string_view b);
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_SEQUENCE_SIMILARITY_H_

@@ -1,0 +1,147 @@
+#include "src/text/set_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/text/sequence_similarity.h"
+
+namespace emx {
+
+namespace {
+
+// Deduplicated view helper.
+std::unordered_set<std::string_view> ToSet(const std::vector<std::string>& v) {
+  std::unordered_set<std::string_view> s;
+  s.reserve(v.size() * 2);
+  for (const auto& t : v) s.insert(t);
+  return s;
+}
+
+struct SetStats {
+  size_t size_a;
+  size_t size_b;
+  size_t intersection;
+};
+
+SetStats ComputeStats(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  size_t inter = 0;
+  for (const auto& t : small) {
+    if (large.count(t)) ++inter;
+  }
+  return {sa.size(), sb.size(), inter};
+}
+
+}  // namespace
+
+size_t OverlapSize(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  return ComputeStats(a, b).intersection;
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  SetStats s = ComputeStats(a, b);
+  size_t uni = s.size_a + s.size_b - s.intersection;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(uni);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  SetStats s = ComputeStats(a, b);
+  size_t mn = std::min(s.size_a, s.size_b);
+  if (mn == 0) return (s.size_a == s.size_b) ? 1.0 : 0.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(mn);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  SetStats s = ComputeStats(a, b);
+  size_t denom = s.size_a + s.size_b;
+  if (denom == 0) return 1.0;
+  return 2.0 * static_cast<double>(s.intersection) /
+         static_cast<double>(denom);
+}
+
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  SetStats s = ComputeStats(a, b);
+  if (s.size_a == 0 || s.size_b == 0) {
+    return (s.size_a == s.size_b) ? 1.0 : 0.0;
+  }
+  return static_cast<double>(s.intersection) /
+         std::sqrt(static_cast<double>(s.size_a) *
+                   static_cast<double>(s.size_b));
+}
+
+double MongeElkanAsymmetric(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  if (b.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  return 0.5 * (MongeElkanAsymmetric(a, b) + MongeElkanAsymmetric(b, a));
+}
+
+TfIdfScorer::TfIdfScorer(
+    const std::vector<std::vector<std::string>>& documents)
+    : num_documents_(documents.size()) {
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string_view> seen;
+    for (const auto& t : doc) {
+      if (seen.insert(t).second) ++document_frequency_[t];
+    }
+  }
+}
+
+double TfIdfScorer::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  double df = (it == document_frequency_.end())
+                  ? 0.0
+                  : static_cast<double>(it->second);
+  // Smoothed idf; unknown tokens (df=0) get the maximum weight.
+  return std::log((static_cast<double>(num_documents_) + 1.0) / (df + 1.0));
+}
+
+double TfIdfScorer::Similarity(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) const {
+  std::unordered_map<std::string, double> wa, wb;
+  for (const auto& t : a) wa[t] += 1.0;
+  for (const auto& t : b) wb[t] += 1.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (auto& [t, tf] : wa) {
+    double w = tf * Idf(t);
+    wa[t] = w;
+    na += w * w;
+  }
+  for (auto& [t, tf] : wb) {
+    double w = tf * Idf(t);
+    wb[t] = w;
+    nb += w * w;
+  }
+  for (const auto& [t, w] : wa) {
+    auto it = wb.find(t);
+    if (it != wb.end()) dot += w * it->second;
+  }
+  if (na == 0.0 || nb == 0.0) return (na == nb) ? 1.0 : 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace emx

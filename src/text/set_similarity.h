@@ -1,0 +1,67 @@
+#ifndef EMX_TEXT_SET_SIMILARITY_H_
+#define EMX_TEXT_SET_SIMILARITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace emx {
+
+// Token-set similarity measures (§7 of the paper uses overlap size,
+// overlap coefficient, and Jaccard). Inputs are token vectors as produced by
+// a Tokenizer with unique() set; duplicate tokens in the input are treated
+// as a set (deduplicated internally).
+
+// |A ∩ B|.
+size_t OverlapSize(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+// |A ∩ B| / |A ∪ B|; two empty sets score 1.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+// |A ∩ B| / min(|A|, |B|); two empty sets score 1, one empty scores 0.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+// 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+// |A ∩ B| / sqrt(|A|·|B|) (set cosine).
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+// Monge-Elkan: mean over tokens of A of the best Jaro-Winkler score against
+// any token of B. Asymmetric; MongeElkanSimilarity symmetrizes by averaging
+// both directions.
+double MongeElkanAsymmetric(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+// TF-IDF weighted cosine over a fixed corpus vocabulary. Build once from all
+// strings of both tables, then score token vectors. Unknown tokens get
+// idf = log(N + 1) (treated as if they occur in no document).
+class TfIdfScorer {
+ public:
+  TfIdfScorer() = default;
+
+  // `documents` is the token list of each corpus string.
+  explicit TfIdfScorer(const std::vector<std::vector<std::string>>& documents);
+
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  size_t corpus_size() const { return num_documents_; }
+
+ private:
+  double Idf(const std::string& token) const;
+
+  std::unordered_map<std::string, size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_SET_SIMILARITY_H_

@@ -1,0 +1,76 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view s) const {
+  std::vector<std::string> tokens = TokenizeImpl(s);
+  if (!unique_) return tokens;
+  // The set must own its keys: moving tokens into `out` would invalidate
+  // any view-based key pointing at them.
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<std::string> WhitespaceTokenizer::TokenizeImpl(
+    std::string_view s) const {
+  return SplitWhitespace(s);
+}
+
+std::vector<std::string> AlphanumericTokenizer::TokenizeImpl(
+    std::string_view s) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  auto is_alnum = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9');
+  };
+  while (i < s.size()) {
+    while (i < s.size() && !is_alnum(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && is_alnum(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+QgramTokenizer::QgramTokenizer(int q, bool pad) : q_(q < 1 ? 1 : q), pad_(pad) {}
+
+std::vector<std::string> QgramTokenizer::TokenizeImpl(std::string_view s) const {
+  std::string padded;
+  if (pad_) {
+    padded.append(static_cast<size_t>(q_ - 1), '#');
+    padded.append(s);
+    padded.append(static_cast<size_t>(q_ - 1), '$');
+  } else {
+    padded.assign(s);
+  }
+  std::vector<std::string> out;
+  if (padded.size() < static_cast<size_t>(q_)) return out;
+  out.reserve(padded.size() - q_ + 1);
+  for (size_t i = 0; i + q_ <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, static_cast<size_t>(q_)));
+  }
+  return out;
+}
+
+std::vector<std::string> DelimiterTokenizer::TokenizeImpl(
+    std::string_view s) const {
+  std::vector<std::string> out;
+  for (auto& part : Split(s, delim_)) {
+    std::string_view stripped = StripWhitespace(part);
+    if (!stripped.empty()) out.emplace_back(stripped);
+  }
+  return out;
+}
+
+}  // namespace emx

@@ -1,0 +1,88 @@
+#ifndef EMX_TEXT_TOKENIZER_H_
+#define EMX_TEXT_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emx {
+
+// Splits a string into tokens. Implementations are stateless and
+// thread-compatible; `unique` controls set vs bag semantics (set semantics
+// are what the paper's overlap/Jaccard blockers use).
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  // Tokenizes `s`. When `unique()` is set, duplicates are removed (first
+  // occurrence order preserved).
+  std::vector<std::string> Tokenize(std::string_view s) const;
+
+  // A stable name for feature naming, e.g. "ws", "qgm_3".
+  virtual std::string name() const = 0;
+
+  bool unique() const { return unique_; }
+  void set_unique(bool unique) { unique_ = unique; }
+
+ protected:
+  virtual std::vector<std::string> TokenizeImpl(std::string_view s) const = 0;
+
+ private:
+  bool unique_ = true;
+};
+
+// Tokens are maximal runs of non-whitespace ("word-level tokenizer" in §7).
+class WhitespaceTokenizer : public Tokenizer {
+ public:
+  std::string name() const override { return "ws"; }
+
+ protected:
+  std::vector<std::string> TokenizeImpl(std::string_view s) const override;
+};
+
+// Tokens are maximal runs of [A-Za-z0-9]; punctuation separates.
+class AlphanumericTokenizer : public Tokenizer {
+ public:
+  std::string name() const override { return "alnum"; }
+
+ protected:
+  std::vector<std::string> TokenizeImpl(std::string_view s) const override;
+};
+
+// Sliding character q-grams. With `pad` set, the string is padded with q-1
+// leading/trailing '#'/'$' sentinels (py_stringmatching convention), so
+// "ab" with q=3 yields {"##a","#ab","ab$","b$$"}.
+class QgramTokenizer : public Tokenizer {
+ public:
+  explicit QgramTokenizer(int q, bool pad = true);
+
+  std::string name() const override { return "qgm_" + std::to_string(q_); }
+  int q() const { return q_; }
+
+ protected:
+  std::vector<std::string> TokenizeImpl(std::string_view s) const override;
+
+ private:
+  int q_;
+  bool pad_;
+};
+
+// Splits on a fixed delimiter character (used for the '|'-joined employee
+// name lists of §6).
+class DelimiterTokenizer : public Tokenizer {
+ public:
+  explicit DelimiterTokenizer(char delim) : delim_(delim) {}
+
+  std::string name() const override { return std::string("delim_") + delim_; }
+
+ protected:
+  std::vector<std::string> TokenizeImpl(std::string_view s) const override;
+
+ private:
+  char delim_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_TOKENIZER_H_

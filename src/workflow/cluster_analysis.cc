@@ -1,0 +1,124 @@
+#include "src/workflow/cluster_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/logging.h"
+#include "src/core/strings.h"
+
+namespace emx {
+
+CardinalityStats AnalyzeCardinality(const CandidateSet& matches) {
+  std::unordered_map<uint32_t, size_t> left_degree, right_degree;
+  for (const RecordPair& p : matches) {
+    ++left_degree[p.left];
+    ++right_degree[p.right];
+  }
+  CardinalityStats s;
+  s.total = matches.size();
+  for (const RecordPair& p : matches) {
+    bool left_many = left_degree[p.left] > 1;
+    bool right_many = right_degree[p.right] > 1;
+    if (!left_many && !right_many) {
+      ++s.one_to_one;
+    } else if (left_many && !right_many) {
+      ++s.one_to_many;
+    } else if (!left_many && right_many) {
+      ++s.many_to_one;
+    } else {
+      ++s.many_to_many;
+    }
+  }
+  return s;
+}
+
+std::string CardinalityStats::ToString() const {
+  return StrFormat(
+      "1:1=%zu 1:n=%zu n:1=%zu n:m=%zu (total %zu, %.1f%% one-to-one)",
+      one_to_one, one_to_many, many_to_one, many_to_many, total,
+      OneToOneShare() * 100.0);
+}
+
+namespace {
+
+// Union-find over 64-bit node ids (left rows and right rows live in
+// disjoint id spaces).
+class UnionFind {
+ public:
+  uint64_t Find(uint64_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    // Path compression (iterative).
+    uint64_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint64_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Union(uint64_t a, uint64_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> parent_;
+};
+
+uint64_t LeftNode(uint32_t row) { return row; }
+uint64_t RightNode(uint32_t row) { return (1ULL << 32) | row; }
+
+}  // namespace
+
+std::vector<std::vector<RecordPair>> MatchClusters(
+    const CandidateSet& matches) {
+  UnionFind uf;
+  for (const RecordPair& p : matches) {
+    uf.Union(LeftNode(p.left), RightNode(p.right));
+  }
+  // Group pairs by root; std::map keys make the output order deterministic
+  // (roots compare by the smallest pair's component id encountered first).
+  std::map<uint64_t, std::vector<RecordPair>> groups;
+  for (const RecordPair& p : matches) {
+    groups[uf.Find(LeftNode(p.left))].push_back(p);
+  }
+  std::vector<std::vector<RecordPair>> out;
+  out.reserve(groups.size());
+  for (auto& [root, pairs] : groups) {
+    std::sort(pairs.begin(), pairs.end());
+    out.push_back(std::move(pairs));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<RecordPair>& a,
+               const std::vector<RecordPair>& b) { return a[0] < b[0]; });
+  return out;
+}
+
+CandidateSet GreedyOneToOne(const CandidateSet& matches,
+                            const std::vector<double>& scores) {
+  EMX_CHECK(scores.size() == matches.size())
+      << "GreedyOneToOne: scores misaligned (" << scores.size() << " vs "
+      << matches.size() << ")";
+  std::vector<size_t> order(matches.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::unordered_set<uint32_t> used_left, used_right;
+  std::vector<RecordPair> out;
+  for (size_t i : order) {
+    const RecordPair& p = matches[i];
+    if (used_left.count(p.left) || used_right.count(p.right)) continue;
+    used_left.insert(p.left);
+    used_right.insert(p.right);
+    out.push_back(p);
+  }
+  return CandidateSet(std::move(out));
+}
+
+}  // namespace emx

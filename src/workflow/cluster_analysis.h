@@ -1,0 +1,52 @@
+#ifndef EMX_WORKFLOW_CLUSTER_ANALYSIS_H_
+#define EMX_WORKFLOW_CLUSTER_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_set.h"
+
+namespace emx {
+
+// §10's "Should We Match at the Cluster Level?" tooling. The UMETRICS team
+// initially demanded one-to-one matches; the EM team's response was to
+// quantify how much one-to-many/many-to-one structure the match set
+// actually contained ("if a problem affects only a small number of
+// matches, it is not worth spending a lot of effort to solve it").
+
+// Per-pair cardinality classification of a match set.
+struct CardinalityStats {
+  size_t one_to_one = 0;    // pairs whose left AND right match exactly once
+  size_t one_to_many = 0;   // left matches several rights; right matches once
+  size_t many_to_one = 0;   // right matches several lefts; left matches once
+  size_t many_to_many = 0;  // both sides match several times
+  size_t total = 0;
+
+  double OneToOneShare() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(one_to_one) /
+                            static_cast<double>(total);
+  }
+  std::string ToString() const;
+};
+
+CardinalityStats AnalyzeCardinality(const CandidateSet& matches);
+
+// Connected components of the bipartite match graph — each component is a
+// "cluster" in the sub-award sense (all records describing one grant).
+// Components are returned as pair lists, ordered by smallest left index.
+std::vector<std::vector<RecordPair>> MatchClusters(const CandidateSet& matches);
+
+// Greedy maximum-weight one-to-one restriction: repeatedly commits the
+// highest-scored remaining pair whose endpoints are both unused.
+// `scores[i]` corresponds to matches[i]; ties break toward the earlier
+// pair, so the result is deterministic. This is the cluster-level
+// "one cluster matches at most one cluster" semantics collapsed to the
+// record level.
+CandidateSet GreedyOneToOne(const CandidateSet& matches,
+                            const std::vector<double>& scores);
+
+}  // namespace emx
+
+#endif  // EMX_WORKFLOW_CLUSTER_ANALYSIS_H_

@@ -1,0 +1,96 @@
+#include "src/workflow/em_workflow.h"
+
+namespace emx {
+
+void EmWorkflow::SetMatcher(std::shared_ptr<MlMatcher> matcher,
+                            FeatureSet features, MeanImputer imputer) {
+  matcher_ = std::move(matcher);
+  features_ = std::move(features);
+  imputer_ = std::move(imputer);
+}
+
+Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
+                                          const Table& right) const {
+  WorkflowRunResult out;
+
+  // Stage 1: sure matches from positive rules.
+  if (!positive_rules_.empty()) {
+    EMX_ASSIGN_OR_RETURN(out.sure_matches,
+                         ApplyRulesCartesian(positive_rules_, left, right));
+  }
+
+  // Stage 2: blocking; the candidate set always includes the sure matches
+  // (the paper folds M1 into blocking so rule-satisfying pairs cannot be
+  // lost, §7 step 1).
+  out.candidates = out.sure_matches;
+  for (const auto& blocker : blockers_) {
+    EMX_ASSIGN_OR_RETURN(CandidateSet c, blocker->Block(left, right));
+    out.candidates = CandidateSet::Union(out.candidates, c);
+  }
+
+  // Stage 3: ML matching on C2 − C1.
+  out.ml_input = CandidateSet::Minus(out.candidates, out.sure_matches);
+  if (matcher_ != nullptr && !out.ml_input.empty()) {
+    EMX_ASSIGN_OR_RETURN(
+        FeatureMatrix m,
+        VectorizePairs(left, right, out.ml_input, features_));
+    EMX_RETURN_IF_ERROR(imputer_.Transform(m));
+    std::vector<int> pred = matcher_->Predict(m.rows);
+    std::vector<RecordPair> positives;
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == 1) positives.push_back(out.ml_input[i]);
+    }
+    out.ml_predicted = CandidateSet(std::move(positives));
+  }
+
+  // Stage 4: negative rules flip ML matches only — sure matches are, by
+  // the UMETRICS team's definition, matches (Figure 10 applies the rules
+  // to R1/R2, not to C1/D1).
+  if (!negative_rules_.empty() && !out.ml_predicted.empty()) {
+    EMX_ASSIGN_OR_RETURN(
+        out.after_rules,
+        FilterWithNegativeRules(negative_rules_, left, right,
+                                out.ml_predicted, &out.flipped));
+  } else {
+    out.after_rules = out.ml_predicted;
+  }
+
+  out.final_matches = CandidateSet::Union(out.sure_matches, out.after_rules);
+  out.provenance.Add(out.sure_matches, "sure_rule");
+  out.provenance.Add(out.after_rules, "ml");
+  return out;
+}
+
+std::string EmWorkflow::Describe() const {
+  std::string out = "EmWorkflow:\n";
+  out += "  positive rules (" + std::to_string(positive_rules_.size()) + "):\n";
+  for (const MatchRule& r : positive_rules_) {
+    out += "    - " + r.name + "\n";
+  }
+  out += "  blockers (" + std::to_string(blockers_.size()) + "):\n";
+  for (const auto& b : blockers_) {
+    out += "    - " + b->name() + "\n";
+  }
+  if (matcher_ != nullptr) {
+    out += "  matcher: " + matcher_->name() + " over " +
+           std::to_string(features_.features.size()) + " features\n";
+  } else {
+    out += "  matcher: (none)\n";
+  }
+  out += "  negative rules (" + std::to_string(negative_rules_.size()) + "):\n";
+  for (const MatchRule& r : negative_rules_) {
+    out += "    - " + r.name + "\n";
+  }
+  return out;
+}
+
+MatchSet MergeBranches(const std::vector<const WorkflowRunResult*>& branches) {
+  MatchSet merged;
+  for (const WorkflowRunResult* b : branches) {
+    merged.Add(b->sure_matches, "sure_rule", /*overwrite=*/true);
+    merged.Add(b->after_rules, "ml", /*overwrite=*/false);
+  }
+  return merged;
+}
+
+}  // namespace emx

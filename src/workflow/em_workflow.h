@@ -1,0 +1,92 @@
+#ifndef EMX_WORKFLOW_EM_WORKFLOW_H_
+#define EMX_WORKFLOW_EM_WORKFLOW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/blocker.h"
+#include "src/block/candidate_set.h"
+#include "src/core/result.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/vectorizer.h"
+#include "src/ml/matcher.h"
+#include "src/rules/match_rules.h"
+#include "src/workflow/match_set.h"
+
+namespace emx {
+
+// One run of the paper's workflow topology over a (left, right) table pair
+// — Figure 10's shape, which degrades gracefully to Figures 8/9 when the
+// positive-rule / negative-rule stages are empty:
+//
+//   positive rules --------------------> sure matches C1
+//   blockers (unioned) + C1 -----------> candidate set C2
+//   C = C2 - C1 --vectorize--matcher---> predicted R
+//   R - negative rules ----------------> S
+//   final = C1 ∪ S
+struct WorkflowRunResult {
+  CandidateSet sure_matches;     // C1
+  CandidateSet candidates;       // C2 (blockers ∪ C1)
+  CandidateSet ml_input;         // C2 − C1
+  CandidateSet ml_predicted;     // R
+  CandidateSet flipped;          // R ∩ negative-rule firings
+  CandidateSet after_rules;      // S = R − flipped
+  CandidateSet final_matches;    // C1 ∪ S
+  MatchSet provenance;           // tags: "sure_rule" / "ml"
+};
+
+// A fully configured end-to-end EM workflow. Stages are optional:
+// a workflow with only positive rules is the §10 "patch" workflow; one with
+// only blockers+matcher is Figure 8.
+class EmWorkflow {
+ public:
+  EmWorkflow() = default;
+
+  void AddPositiveRule(MatchRule rule) {
+    positive_rules_.push_back(std::move(rule));
+  }
+  void AddBlocker(std::shared_ptr<Blocker> blocker) {
+    blockers_.push_back(std::move(blocker));
+  }
+  void AddNegativeRule(MatchRule rule) {
+    negative_rules_.push_back(std::move(rule));
+  }
+
+  // Installs the trained ML stage. The imputer must already be fitted on
+  // the training matrix so production pairs are imputed with TRAINING
+  // means (the §9 procedure).
+  void SetMatcher(std::shared_ptr<MlMatcher> matcher, FeatureSet features,
+                  MeanImputer imputer);
+
+  const std::vector<MatchRule>& positive_rules() const {
+    return positive_rules_;
+  }
+  const std::vector<MatchRule>& negative_rules() const {
+    return negative_rules_;
+  }
+
+  // Executes all configured stages on one table pair.
+  Result<WorkflowRunResult> Run(const Table& left, const Table& right) const;
+
+  // A human-readable description of the configured stages — the §12/§13
+  // "how to represent the EM workflow effectively" concern: the packaged
+  // workflow must be inspectable when it moves to production.
+  std::string Describe() const;
+
+ private:
+  std::vector<MatchRule> positive_rules_;
+  std::vector<std::shared_ptr<Blocker>> blockers_;
+  std::vector<MatchRule> negative_rules_;
+  std::shared_ptr<MlMatcher> matcher_;
+  FeatureSet features_;
+  MeanImputer imputer_;
+};
+
+// Merges branch results when a workflow is run over several input batches
+// (Figure 9: original + extra records). Later results patch earlier ones.
+MatchSet MergeBranches(const std::vector<const WorkflowRunResult*>& branches);
+
+}  // namespace emx
+
+#endif  // EMX_WORKFLOW_EM_WORKFLOW_H_

@@ -1,0 +1,38 @@
+#include "src/workflow/match_set.h"
+
+namespace emx {
+
+void MatchSet::Add(const CandidateSet& pairs, const std::string& provenance,
+                   bool overwrite) {
+  for (const RecordPair& p : pairs) {
+    if (overwrite) {
+      provenance_[p] = provenance;
+    } else {
+      provenance_.try_emplace(p, provenance);
+    }
+  }
+}
+
+void MatchSet::Remove(const CandidateSet& pairs) {
+  for (const RecordPair& p : pairs) provenance_.erase(p);
+}
+
+std::string MatchSet::ProvenanceOf(const RecordPair& pair) const {
+  auto it = provenance_.find(pair);
+  return it == provenance_.end() ? "" : it->second;
+}
+
+CandidateSet MatchSet::AsCandidateSet() const {
+  std::vector<RecordPair> pairs;
+  pairs.reserve(provenance_.size());
+  for (const auto& [p, tag] : provenance_) pairs.push_back(p);
+  return CandidateSet(std::move(pairs));
+}
+
+std::map<std::string, size_t> MatchSet::CountsByProvenance() const {
+  std::map<std::string, size_t> counts;
+  for (const auto& [p, tag] : provenance_) ++counts[tag];
+  return counts;
+}
+
+}  // namespace emx

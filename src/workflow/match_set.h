@@ -1,0 +1,48 @@
+#ifndef EMX_WORKFLOW_MATCH_SET_H_
+#define EMX_WORKFLOW_MATCH_SET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_set.h"
+
+namespace emx {
+
+// The final output of an EM workflow: matched pairs, each tagged with the
+// stage that produced it ("sure_rule", "ml", ...). When workflows are
+// patched together (§10), the NEWER workflow's verdict wins for pairs both
+// produce — pass overwrite=true for the patch.
+class MatchSet {
+ public:
+  MatchSet() = default;
+
+  // Adds all of `pairs` with the given provenance tag. With overwrite set,
+  // existing provenance for a pair is replaced; otherwise first writer wins.
+  void Add(const CandidateSet& pairs, const std::string& provenance,
+           bool overwrite = false);
+
+  // Removes pairs (e.g. negative-rule flips applied after the fact).
+  void Remove(const CandidateSet& pairs);
+
+  size_t size() const { return provenance_.size(); }
+  bool Contains(const RecordPair& pair) const {
+    return provenance_.count(pair) > 0;
+  }
+
+  // Provenance of one pair ("" when absent).
+  std::string ProvenanceOf(const RecordPair& pair) const;
+
+  // All matched pairs as a CandidateSet.
+  CandidateSet AsCandidateSet() const;
+
+  // Pair count per provenance tag.
+  std::map<std::string, size_t> CountsByProvenance() const;
+
+ private:
+  std::map<RecordPair, std::string> provenance_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_WORKFLOW_MATCH_SET_H_

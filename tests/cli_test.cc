@@ -1,0 +1,175 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/cli/cli.h"
+#include "src/table/csv.h"
+
+namespace emx {
+namespace {
+
+// Temp-file helper: writes `content` under the gtest temp dir.
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + "/emx_cli_" + name;
+  std::ofstream f(path, std::ios::binary);
+  f << content;
+  return path;
+}
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunEmx(std::vector<std::string> args) {
+  CliResult r;
+  r.code = RunCli(args, r.out, r.err);
+  return r;
+}
+
+const char* kLeftCsv =
+    "RecordId,Name,City\n"
+    "0,Dave Smith,Madison\n"
+    "1,Joe Wilson,San Jose\n"
+    "2,Dan Smith,Middleton\n";
+const char* kRightCsv =
+    "RecordId,Name,City\n"
+    "0,David D. Smith,Madison\n"
+    "1,Daniel W. Smith,Middleton\n";
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  CliResult r = RunEmx({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliResult r = RunEmx({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, ProfilePrintsColumnStats) {
+  std::string path = WriteTemp("profile.csv", kLeftCsv);
+  CliResult r = RunEmx({"profile", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rows=3"), std::string::npos);
+  EXPECT_NE(r.out.find("City"), std::string::npos);
+}
+
+TEST(CliTest, ProfileMissingFileFails) {
+  CliResult r = RunEmx({"profile", "/nonexistent.csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("IoError"), std::string::npos);
+}
+
+TEST(CliTest, BlockAeWritesPairs) {
+  std::string left = WriteTemp("bl.csv", kLeftCsv);
+  std::string right = WriteTemp("br.csv", kRightCsv);
+  std::string out_path = ::testing::TempDir() + "/emx_cli_pairs.csv";
+  CliResult r = RunEmx({"block", left, right, "--method=ae", "--left-attr=City",
+                     "--out=" + out_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("kept 2 of 6"), std::string::npos);
+  auto pairs = ReadCsvFile(out_path);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->num_rows(), 2u);
+}
+
+TEST(CliTest, BlockRequiresLeftAttr) {
+  std::string left = WriteTemp("bl2.csv", kLeftCsv);
+  std::string right = WriteTemp("br2.csv", kRightCsv);
+  CliResult r = RunEmx({"block", left, right, "--method=ae"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--left-attr"), std::string::npos);
+}
+
+TEST(CliTest, BlockRejectsUnknownMethod) {
+  std::string left = WriteTemp("bl3.csv", kLeftCsv);
+  std::string right = WriteTemp("br3.csv", kRightCsv);
+  CliResult r =
+      RunEmx({"block", left, right, "--method=magic", "--left-attr=City"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --method"), std::string::npos);
+}
+
+TEST(CliTest, MatchEndToEnd) {
+  std::string left = WriteTemp("ml.csv", kLeftCsv);
+  std::string right = WriteTemp("mr.csv", kRightCsv);
+  std::string pairs = WriteTemp("mp.csv",
+                                "left_id,right_id\n0,0\n0,1\n2,0\n2,1\n");
+  // Labels: same-city pairs are matches.
+  std::string labels = WriteTemp(
+      "mlabels.csv",
+      "left_id,right_id,label\n0,0,yes\n0,1,no\n2,0,no\n2,1,yes\n");
+  std::string out_path = ::testing::TempDir() + "/emx_cli_matches.csv";
+  CliResult r = RunEmx({"match", left, right, "--pairs=" + pairs,
+                     "--labels=" + labels, "--matcher=tree",
+                     "--exclude=RecordId", "--out=" + out_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("decision_tree predicted"), std::string::npos);
+  auto matches = ReadCsvFile(out_path);
+  ASSERT_TRUE(matches.ok());
+  // Training data is tiny but cleanly separable by the City exact feature;
+  // the tree should reproduce the two labeled matches.
+  EXPECT_EQ(matches->num_rows(), 2u);
+}
+
+TEST(CliTest, MatchRejectsBadLabel) {
+  std::string left = WriteTemp("ml2.csv", kLeftCsv);
+  std::string right = WriteTemp("mr2.csv", kRightCsv);
+  std::string pairs = WriteTemp("mp2.csv", "left_id,right_id\n0,0\n");
+  std::string labels =
+      WriteTemp("mlabels2.csv", "left_id,right_id,label\n0,0,maybe\n");
+  CliResult r = RunEmx({"match", left, right, "--pairs=" + pairs,
+                     "--labels=" + labels});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("bad label"), std::string::npos);
+}
+
+TEST(CliTest, DedupeFindsDuplicateRows) {
+  std::string table = WriteTemp(
+      "dedupe.csv",
+      "Name\nDave Smith\nJoe Wilson\nDave Smith\n");
+  std::string out_path = ::testing::TempDir() + "/emx_cli_dupes.csv";
+  CliResult r = RunEmx({"dedupe", table, "--left-attr=Name", "--method=ae",
+                        "--out=" + out_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("found 1 potential duplicate"), std::string::npos);
+  auto pairs = ReadCsvFile(out_path);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->num_rows(), 1u);
+  EXPECT_EQ(pairs->at(0, "left_id").AsInt(), 0);
+  EXPECT_EQ(pairs->at(0, "right_id").AsInt(), 2);
+}
+
+TEST(CliTest, DedupeRequiresAttr) {
+  std::string table = WriteTemp("dedupe2.csv", "Name\nx\n");
+  CliResult r = RunEmx({"dedupe", table});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--left-attr"), std::string::npos);
+}
+
+TEST(CliTest, EstimateComputesIntervals) {
+  std::string matches = WriteTemp("em.csv", "left_id,right_id\n0,0\n1,1\n");
+  std::string sample = WriteTemp(
+      "es.csv",
+      "left_id,right_id,label\n0,0,yes\n1,1,no\n2,2,yes\n3,3,unsure\n");
+  CliResult r = RunEmx({"estimate", "--matches=" + matches,
+                     "--sample=" + sample});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("precision 0.500"), std::string::npos);
+  EXPECT_NE(r.out.find("recall 0.500"), std::string::npos);
+  EXPECT_NE(r.out.find("1 unsure ignored"), std::string::npos);
+}
+
+TEST(CliTest, EstimateRequiresBothFlags) {
+  CliResult r = RunEmx({"estimate", "--matches=x.csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/workflow/cluster_analysis.h"
+
+namespace emx {
+namespace {
+
+CandidateSet CS(std::initializer_list<RecordPair> pairs) {
+  return CandidateSet(std::vector<RecordPair>(pairs));
+}
+
+TEST(CardinalityTest, ClassifiesEveryShape) {
+  // left 0 -> rights 0,1 (1:n); lefts 1,2 -> right 2 (n:1);
+  // left 3 -> right 3 (1:1); lefts 4,5 <-> rights 4,5 crossed (n:m).
+  CandidateSet matches = CS({{0, 0}, {0, 1}, {1, 2}, {2, 2}, {3, 3},
+                             {4, 4}, {4, 5}, {5, 4}, {5, 5}});
+  CardinalityStats s = AnalyzeCardinality(matches);
+  EXPECT_EQ(s.one_to_many, 2u);
+  EXPECT_EQ(s.many_to_one, 2u);
+  EXPECT_EQ(s.one_to_one, 1u);
+  EXPECT_EQ(s.many_to_many, 4u);
+  EXPECT_EQ(s.total, 9u);
+  EXPECT_NEAR(s.OneToOneShare(), 1.0 / 9.0, 1e-12);
+  EXPECT_NE(s.ToString().find("1:1=1"), std::string::npos);
+}
+
+TEST(CardinalityTest, EmptySet) {
+  CardinalityStats s = AnalyzeCardinality(CandidateSet());
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_DOUBLE_EQ(s.OneToOneShare(), 0.0);
+}
+
+TEST(MatchClustersTest, ConnectedComponentsOfBipartiteGraph) {
+  // Component A: {l0, l1} x {r0}; component B: {l5} x {r7, r8};
+  // component C: chain l2-r2, r2-l3? (same right) -> l2,l3,r2.
+  CandidateSet matches = CS({{0, 0}, {1, 0}, {5, 7}, {5, 8}, {2, 2}, {3, 2}});
+  auto clusters = MatchClusters(matches);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<RecordPair>{{0, 0}, {1, 0}}));
+  EXPECT_EQ(clusters[1], (std::vector<RecordPair>{{2, 2}, {3, 2}}));
+  EXPECT_EQ(clusters[2], (std::vector<RecordPair>{{5, 7}, {5, 8}}));
+}
+
+TEST(MatchClustersTest, TransitiveChainsMerge) {
+  // l0-r0, l1-r0, l1-r1, l2-r1: all one component despite no direct edge
+  // between l0 and r1.
+  CandidateSet matches = CS({{0, 0}, {1, 0}, {1, 1}, {2, 1}});
+  auto clusters = MatchClusters(matches);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 4u);
+}
+
+TEST(GreedyOneToOneTest, PicksHighestScoresWithoutConflicts) {
+  CandidateSet matches = CS({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  // Scores favor the crossed assignment (0,1) and (1,0).
+  std::vector<double> scores = {0.2, 0.9, 0.8, 0.3};
+  CandidateSet one_to_one = GreedyOneToOne(matches, scores);
+  EXPECT_EQ(one_to_one.size(), 2u);
+  EXPECT_TRUE(one_to_one.Contains({0, 1}));
+  EXPECT_TRUE(one_to_one.Contains({1, 0}));
+  // Result is strictly one-to-one.
+  CardinalityStats s = AnalyzeCardinality(one_to_one);
+  EXPECT_EQ(s.one_to_one, s.total);
+}
+
+TEST(GreedyOneToOneTest, DeterministicTieBreak) {
+  CandidateSet matches = CS({{0, 0}, {0, 1}});
+  std::vector<double> scores = {0.5, 0.5};
+  CandidateSet a = GreedyOneToOne(matches, scores);
+  CandidateSet b = GreedyOneToOne(matches, scores);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_TRUE(a.Contains({0, 0}));  // earlier pair wins the tie
+}
+
+TEST(GreedyOneToOneTest, OneToOneInputPassesThrough) {
+  CandidateSet matches = CS({{0, 0}, {1, 1}, {2, 2}});
+  std::vector<double> scores = {0.1, 0.2, 0.3};
+  EXPECT_EQ(GreedyOneToOne(matches, scores), matches);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,277 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/core/result.h"
+#include "src/core/status.h"
+#include "src/core/strings.h"
+
+namespace emx {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::IoError("").code(),         Status::ParseError("").code(),
+      Status::FailedPrecondition("").code(), Status::Internal("").code(),
+      Status::NotImplemented("").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [] { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    EMX_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto outer = []() -> Status {
+    EMX_RETURN_IF_ERROR(Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+// --- Result ---------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r((Status()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto f = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("no");
+    return 10;
+  };
+  auto g = [&](bool fail) -> Result<int> {
+    EMX_ASSIGN_OR_RETURN(int v, f(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*g(false), 20);
+  EXPECT_EQ(g(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- RandomEngine ----------------------------------------------------------
+
+TEST(RandomEngineTest, DeterministicPerSeed) {
+  RandomEngine a(123), b(123), c(124);
+  std::vector<uint64_t> va, vb, vc;
+  for (int i = 0; i < 32; ++i) {
+    va.push_back(a.NextUint64());
+    vb.push_back(b.NextUint64());
+    vc.push_back(c.NextUint64());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RandomEngineTest, NextBelowRespectsBound) {
+  RandomEngine rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RandomEngineTest, NextBelowOneIsAlwaysZero) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RandomEngineTest, NextIntCoversInclusiveRange) {
+  RandomEngine rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(RandomEngineTest, NextDoubleInUnitInterval) {
+  RandomEngine rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomEngineTest, BernoulliExtremes) {
+  RandomEngine rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RandomEngineTest, BernoulliRateIsRoughlyP) {
+  RandomEngine rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomEngineTest, GaussianMoments) {
+  RandomEngine rng(17);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RandomEngineTest, ShuffleIsPermutation) {
+  RandomEngine rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RandomEngineTest, SampleWithoutReplacementIsDistinct) {
+  RandomEngine rng(21);
+  auto picks = rng.SampleWithoutReplacement(50, 20);
+  ASSERT_EQ(picks.size(), 20u);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t p : picks) EXPECT_LT(p, 50u);
+}
+
+TEST(RandomEngineTest, SampleMoreThanPopulationReturnsAll) {
+  RandomEngine rng(23);
+  auto picks = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(RandomEngineTest, ForkedStreamsDiffer) {
+  RandomEngine rng(25);
+  RandomEngine f1 = rng.Fork(1);
+  RandomEngine f2 = rng.Fork(2);
+  EXPECT_NE(f1.NextUint64(), f2.NextUint64());
+}
+
+// --- strings ---------------------------------------------------------------
+
+TEST(StringsTest, AsciiCase) {
+  EXPECT_EQ(AsciiToLower("AbC-123"), "abc-123");
+  EXPECT_EQ(AsciiToUpper("AbC-123"), "ABC-123");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n x\r"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a   b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "|"), "a|b|c");
+  EXPECT_EQ(Join({}, "|"), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StringsTest, StripPunctuation) {
+  EXPECT_EQ(StripPunctuation("a-b (c)! #d"), "a b  c    d");
+  EXPECT_EQ(StripPunctuation("Hello World 42"), "Hello World 42");
+}
+
+TEST(StringsTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-1"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("WIS01040", "WIS"));
+  EXPECT_FALSE(StartsWith("WI", "WIS"));
+  EXPECT_TRUE(EndsWith("title NC/NRSP", "NC/NRSP"));
+  EXPECT_FALSE(EndsWith("NC", "NC/NRSP"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%04d-%s", 7, "x"), "0007-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace emx

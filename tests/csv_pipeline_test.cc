@@ -1,0 +1,91 @@
+// Integration: the pipeline must survive a CSV round trip — the challenge
+// dataset written by examples/export_challenge_data is only useful if a
+// downstream user re-reading the CSVs gets the same candidate sets and
+// sure matches we compute in memory.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/case_study.h"
+#include "src/datagen/iris_matcher.h"
+#include "src/datagen/preprocess.h"
+#include "src/rules/match_rules.h"
+#include "src/table/csv.h"
+
+namespace emx {
+namespace {
+
+struct RoundTripFixture {
+  ProjectedTables original;
+  Table umetrics_rt;  // written to CSV and read back
+  Table usda_rt;
+};
+
+const RoundTripFixture& Fixture() {
+  static const RoundTripFixture& fx = *[] {
+    auto* f = new RoundTripFixture();
+    auto data = GenerateCaseStudy();
+    EXPECT_TRUE(data.ok());
+    auto tables = PreprocessCaseStudy(*data);
+    EXPECT_TRUE(tables.ok());
+    f->original = std::move(*tables);
+    auto u = ReadCsvString(WriteCsvString(f->original.umetrics));
+    auto s = ReadCsvString(WriteCsvString(f->original.usda));
+    EXPECT_TRUE(u.ok() && s.ok());
+    f->umetrics_rt = std::move(*u);
+    f->usda_rt = std::move(*s);
+    return f;
+  }();
+  return fx;
+}
+
+TEST(CsvPipelineTest, ShapesSurviveRoundTrip) {
+  const RoundTripFixture& fx = Fixture();
+  EXPECT_EQ(fx.umetrics_rt.num_rows(), fx.original.umetrics.num_rows());
+  EXPECT_EQ(fx.umetrics_rt.schema().names(),
+            fx.original.umetrics.schema().names());
+  EXPECT_EQ(fx.usda_rt.num_rows(), fx.original.usda.num_rows());
+}
+
+TEST(CsvPipelineTest, BlockingIdenticalAfterRoundTrip) {
+  const RoundTripFixture& fx = Fixture();
+  auto before = RunStandardBlocking(fx.original.umetrics, fx.original.usda);
+  auto after = RunStandardBlocking(fx.umetrics_rt, fx.usda_rt);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before->c1, after->c1);
+  EXPECT_EQ(before->c2, after->c2);
+  EXPECT_EQ(before->c3, after->c3);
+  EXPECT_EQ(before->c, after->c);
+}
+
+TEST(CsvPipelineTest, SureRulesIdenticalAfterRoundTrip) {
+  const RoundTripFixture& fx = Fixture();
+  auto before = ApplyRulesCartesian(PositiveRulesV2(), fx.original.umetrics,
+                                    fx.original.usda);
+  auto after =
+      ApplyRulesCartesian(PositiveRulesV2(), fx.umetrics_rt, fx.usda_rt);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(CsvPipelineTest, IrisIdenticalAfterRoundTrip) {
+  const RoundTripFixture& fx = Fixture();
+  auto before = RunIrisMatcher(fx.original.umetrics, fx.original.usda);
+  auto after = RunIrisMatcher(fx.umetrics_rt, fx.usda_rt);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(CsvPipelineTest, KeyColumnsSurviveTyping) {
+  // AwardNumber values contain spaces/dashes and must stay strings; the
+  // RecordId column is inferred as integers — both must compare correctly.
+  const RoundTripFixture& fx = Fixture();
+  for (size_t r : {size_t{0}, size_t{700}, size_t{1335}}) {
+    EXPECT_EQ(fx.umetrics_rt.at(r, "AwardNumber").AsString(),
+              fx.original.umetrics.at(r, "AwardNumber").AsString());
+    EXPECT_EQ(fx.umetrics_rt.at(r, "RecordId").AsInt(),
+              fx.original.umetrics.at(r, "RecordId").AsInt());
+  }
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,275 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/strings.h"
+#include "src/datagen/case_study.h"
+#include "src/datagen/iris_matcher.h"
+#include "src/datagen/preprocess.h"
+#include "src/datagen/universe.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/rules/match_rules.h"
+#include "src/table/csv.h"
+
+namespace emx {
+namespace {
+
+// One shared universe for the whole file (generation is ~1-2s).
+const CaseStudyData& Data() {
+  static const CaseStudyData& data = *[] {
+    auto r = GenerateCaseStudy();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return new CaseStudyData(std::move(*r));
+  }();
+  return data;
+}
+
+const ProjectedTables& Tables() {
+  static const ProjectedTables& tables = *[] {
+    auto r = PreprocessCaseStudy(Data());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return new ProjectedTables(std::move(*r));
+  }();
+  return tables;
+}
+
+// --- universe shape ------------------------------------------------------------
+
+TEST(UniverseTest, TableShapesMatchFigure2) {
+  const CaseStudyData& d = Data();
+  EXPECT_EQ(d.umetrics_award_agg.num_rows(), 1336u);
+  EXPECT_EQ(d.umetrics_award_agg.num_columns(), 13u);
+  EXPECT_EQ(d.usda.num_rows(), 1915u);
+  EXPECT_EQ(d.usda.num_columns(), 78u);
+  EXPECT_EQ(d.extra_umetrics_agg.num_rows(), 496u);
+  EXPECT_EQ(d.umetrics_object_codes.num_rows(), 4574u);
+  EXPECT_EQ(d.umetrics_object_codes.num_columns(), 3u);
+  EXPECT_EQ(d.umetrics_org_units.num_rows(), 264u);
+  EXPECT_EQ(d.umetrics_org_units.num_columns(), 5u);
+  EXPECT_EQ(d.umetrics_subaward.num_columns(), 23u);
+  EXPECT_EQ(d.umetrics_vendor.num_columns(), 21u);
+  EXPECT_EQ(d.umetrics_employees.num_columns(), 13u);
+}
+
+TEST(UniverseTest, DeterministicForSameSeed) {
+  UniverseOptions small;
+  small.num_umetrics = 150;
+  small.num_usda = 260;
+  small.num_extra = 30;
+  small.m1_group = 30;
+  small.m4_group = 40;
+  small.title_group = 20;
+  small.typo_group = 5;
+  small.sibling_rows = 20;
+  small.generic_umetrics = 6;
+  small.generic_usda = 5;
+  small.ncnrsp_rows = 3;
+  small.extra_m1 = 5;
+  small.extra_m4 = 5;
+  small.employee_rows = 800;
+  small.vendor_rows = 100;
+  small.subaward_rows = 50;
+  small.object_code_rows = 20;
+  small.org_unit_rows = 10;
+  auto a = GenerateCaseStudy(small);
+  auto b = GenerateCaseStudy(small);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->gold.pairs(), b->gold.pairs());
+  EXPECT_EQ(WriteCsvString(a->usda), WriteCsvString(b->usda));
+  small.seed = 999;
+  auto c = GenerateCaseStudy(small);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->gold.pairs(), c->gold.pairs());
+}
+
+TEST(UniverseTest, ImpossibleOptionsRejected) {
+  UniverseOptions bad;
+  bad.num_umetrics = 10;  // smaller than the match groups
+  auto r = GenerateCaseStudy(bad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UniverseTest, KeysAreUnique) {
+  const CaseStudyData& d = Data();
+  EXPECT_TRUE(*d.umetrics_award_agg.IsUniqueKey("UniqueAwardNumber"));
+  EXPECT_TRUE(*d.usda.IsUniqueKey("AccessionNumber"));
+  EXPECT_TRUE(*d.extra_umetrics_agg.IsUniqueKey("UniqueAwardNumber"));
+}
+
+TEST(UniverseTest, GoldAndAmbiguousAreDisjoint) {
+  const CaseStudyData& d = Data();
+  EXPECT_TRUE(CandidateSet::Intersect(d.gold, d.ambiguous).empty());
+}
+
+TEST(UniverseTest, GoldIndicesAreInRange) {
+  const CaseStudyData& d = Data();
+  for (const RecordPair& p : d.gold) {
+    EXPECT_LT(p.left, d.umetrics_award_agg.num_rows());
+    EXPECT_LT(p.right, d.usda.num_rows());
+  }
+  for (const RecordPair& p : d.gold_extra) {
+    EXPECT_LT(p.left, d.extra_umetrics_agg.num_rows());
+    EXPECT_LT(p.right, d.usda.num_rows());
+  }
+}
+
+TEST(UniverseTest, GroupCountsAddUp) {
+  const CaseStudyData& d = Data();
+  EXPECT_EQ(d.m1_pairs + d.m4_pairs + d.title_pairs + d.typo_pairs,
+            d.gold.size());
+  EXPECT_GE(d.m1_pairs, 200u);  // one-to-many can only add pairs
+  EXPECT_GE(d.m4_pairs, 450u);
+  EXPECT_EQ(d.sibling_pairs, 280u);
+}
+
+TEST(UniverseTest, CaseConventionsDiffer) {
+  // UMETRICS renders titles in UPPERCASE, USDA in Mixed Case — the driver
+  // of the §9 case-fix story.
+  const CaseStudyData& d = Data();
+  std::string u = d.umetrics_award_agg.at(0, "AwardTitle").AsString();
+  EXPECT_EQ(u, AsciiToUpper(u));
+  bool any_lower = false;
+  for (size_t r = 0; r < 10; ++r) {
+    std::string s = d.usda.at(r, "ProjectTitle").AsString();
+    if (s != AsciiToUpper(s)) any_lower = true;
+  }
+  EXPECT_TRUE(any_lower);
+}
+
+// --- preprocess -------------------------------------------------------------------
+
+TEST(PreprocessTest, ProjectedSchemas) {
+  const ProjectedTables& t = Tables();
+  EXPECT_EQ(t.umetrics.schema().names(),
+            (std::vector<std::string>{"RecordId", "AwardNumber", "AwardTitle",
+                                      "FirstTransDate", "LastTransDate",
+                                      "EmployeeName"}));
+  EXPECT_EQ(t.usda.schema().names(),
+            (std::vector<std::string>{"RecordId", "AwardNumber", "AwardTitle",
+                                      "FirstTransDate", "LastTransDate",
+                                      "AccessionNumber", "EmployeeName",
+                                      "ProjectNumber"}));
+  EXPECT_EQ(t.umetrics.num_rows(), 1336u);
+  EXPECT_EQ(t.usda.num_rows(), 1915u);
+  EXPECT_EQ(t.extra.num_rows(), 496u);
+}
+
+TEST(PreprocessTest, RowOrderPreserved) {
+  // Gold indices address both raw and projected tables, so row r of the
+  // projected table must describe row r of the raw table.
+  const CaseStudyData& d = Data();
+  const ProjectedTables& t = Tables();
+  for (size_t r : {size_t{0}, size_t{100}, size_t{1335}}) {
+    EXPECT_EQ(t.umetrics.at(r, "AwardNumber").AsString(),
+              d.umetrics_award_agg.at(r, "UniqueAwardNumber").AsString());
+    EXPECT_EQ(t.umetrics.at(r, "RecordId").AsInt(), static_cast<int64_t>(r));
+  }
+  for (size_t r : {size_t{0}, size_t{500}, size_t{1914}}) {
+    EXPECT_EQ(t.usda.at(r, "AccessionNumber").AsString(),
+              d.usda.at(r, "AccessionNumber").AsString());
+  }
+}
+
+TEST(PreprocessTest, EmployeeNamesConcatenatedAndDeduplicated) {
+  const ProjectedTables& t = Tables();
+  size_t with_names = 0;
+  for (size_t r = 0; r < t.umetrics.num_rows(); ++r) {
+    const Value& v = t.umetrics.at(r, "EmployeeName");
+    if (v.is_null()) continue;
+    ++with_names;
+    // Names are '|'-separated and unique within the cell.
+    std::set<std::string> seen;
+    for (const auto& name : Split(v.AsString(), '|')) {
+      EXPECT_TRUE(seen.insert(name).second)
+          << "duplicate employee in row " << r;
+    }
+  }
+  // Every award appears in the employee table, so nearly all rows get names.
+  EXPECT_GT(with_names, t.umetrics.num_rows() * 9 / 10);
+}
+
+// --- gold semantics: the rules really fire where they should ------------------------
+
+TEST(GoldSemanticsTest, M1RuleFindsOnlyGoldPairs) {
+  const CaseStudyData& d = Data();
+  const ProjectedTables& t = Tables();
+  auto m1 = ApplyRulesCartesian(PositiveRulesV1(), t.umetrics, t.usda);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_GE(m1->size(), 200u);
+  for (const RecordPair& p : *m1) {
+    EXPECT_TRUE(d.gold.Contains(p))
+        << "M1 fired on a non-gold pair (" << p.left << "," << p.right << ")";
+  }
+}
+
+TEST(GoldSemanticsTest, SureRulesV2FindOnlyGoldPairs) {
+  const CaseStudyData& d = Data();
+  const ProjectedTables& t = Tables();
+  auto sure = ApplyRulesCartesian(PositiveRulesV2(), t.umetrics, t.usda);
+  ASSERT_TRUE(sure.ok());
+  EXPECT_GE(sure->size(), 650u);
+  for (const RecordPair& p : *sure) {
+    EXPECT_TRUE(d.gold.Contains(p));
+  }
+}
+
+TEST(GoldSemanticsTest, NegativeRulesNeverFireOnSureMatches) {
+  const ProjectedTables& t = Tables();
+  auto sure = ApplyRulesCartesian(PositiveRulesV2(), t.umetrics, t.usda);
+  ASSERT_TRUE(sure.ok());
+  auto kept = FilterWithNegativeRules(NegativeRules(), t.umetrics, t.usda,
+                                      *sure, nullptr);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), sure->size());
+}
+
+// --- IRIS baseline -------------------------------------------------------------------
+
+TEST(IrisMatcherTest, PerfectPrecisionModestRecall) {
+  const CaseStudyData& d = Data();
+  const ProjectedTables& t = Tables();
+  auto iris = RunIrisMatcher(t.umetrics, t.usda);
+  ASSERT_TRUE(iris.ok());
+  GoldMetrics m = ComputeGoldMetrics(*iris, d.gold, d.ambiguous);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  // The paper's estimate: recall in the 52-72% band.
+  EXPECT_GT(m.Recall(), 0.5);
+  EXPECT_LT(m.Recall(), 0.8);
+}
+
+// --- blocking over the projected tables -------------------------------------------------
+
+TEST(CaseStudyBlockingTest, ShapesNearThePaper) {
+  const ProjectedTables& t = Tables();
+  auto blocks = RunStandardBlocking(t.umetrics, t.usda);
+  ASSERT_TRUE(blocks.ok());
+  // Within a loose factor of the paper's 210 / 2937 / 1375 / 3177.
+  EXPECT_NEAR(static_cast<double>(blocks->c1.size()), 210.0, 60.0);
+  EXPECT_GT(blocks->c2.size(), 1500u);
+  EXPECT_LT(blocks->c2.size(), 6000u);
+  EXPECT_GT(blocks->c.size(), 2000u);
+  EXPECT_LT(blocks->c.size(), 7000u);
+  // C contains C1, C2, C3.
+  EXPECT_TRUE(CandidateSet::Minus(blocks->c1, blocks->c).empty());
+  EXPECT_TRUE(CandidateSet::Minus(blocks->c2, blocks->c).empty());
+  EXPECT_TRUE(CandidateSet::Minus(blocks->c3, blocks->c).empty());
+}
+
+TEST(CaseStudyOracleTest, UnsureRateInPaperBallpark) {
+  const CaseStudyData& d = Data();
+  const ProjectedTables& t = Tables();
+  auto blocks = RunStandardBlocking(t.umetrics, t.usda);
+  ASSERT_TRUE(blocks.ok());
+  OracleLabeler oracle = MakeOracle(d.gold, d.ambiguous);
+  LabeledSet labels = CollectCorrectedLabels(oracle, blocks->c, 3, 100, 100);
+  EXPECT_EQ(labels.size(), 300u);
+  // Paper: 68 Yes / 200 No / 32 Unsure. Allow generous bands.
+  EXPECT_GT(labels.CountYes(), 40u);
+  EXPECT_LT(labels.CountYes(), 130u);
+  EXPECT_GT(labels.CountUnsure(), 10u);
+  EXPECT_LT(labels.CountUnsure(), 70u);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/eval/corleone_estimator.h"
+
+namespace emx {
+namespace {
+
+CandidateSet CS(std::initializer_list<RecordPair> pairs) {
+  return CandidateSet(std::vector<RecordPair>(pairs));
+}
+
+LabeledSet Labels(std::initializer_list<std::pair<RecordPair, Label>> items) {
+  LabeledSet out;
+  for (const auto& [p, l] : items) out.SetLabel(p, l);
+  return out;
+}
+
+TEST(EstimateAccuracyTest, PerfectMatcher) {
+  CandidateSet predicted = CS({{0, 0}, {1, 1}});
+  LabeledSet sample = Labels({{{0, 0}, Label::kYes},
+                              {{1, 1}, Label::kYes},
+                              {{2, 2}, Label::kNo},
+                              {{3, 3}, Label::kNo}});
+  auto est = EstimateAccuracy(predicted, sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->precision.point, 1.0);
+  EXPECT_DOUBLE_EQ(est->recall.point, 1.0);
+  // Degenerate proportion: zero-width interval at 1.
+  EXPECT_DOUBLE_EQ(est->precision.lo, 1.0);
+  EXPECT_DOUBLE_EQ(est->precision.hi, 1.0);
+  EXPECT_EQ(est->sample_size, 4u);
+  EXPECT_EQ(est->unsure_ignored, 0u);
+}
+
+TEST(EstimateAccuracyTest, HandComputedCounts) {
+  // In-sample: predicted+Yes = 2, predicted+No = 1, missed Yes = 1.
+  CandidateSet predicted = CS({{0, 0}, {1, 1}, {2, 2}});
+  LabeledSet sample = Labels({{{0, 0}, Label::kYes},
+                              {{1, 1}, Label::kYes},
+                              {{2, 2}, Label::kNo},
+                              {{3, 3}, Label::kYes},
+                              {{4, 4}, Label::kNo}});
+  auto est = EstimateAccuracy(predicted, sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->precision.point, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(est->recall.point, 2.0 / 3.0);
+  EXPECT_EQ(est->precision.support, 3u);
+  EXPECT_EQ(est->recall.support, 3u);
+  // Interval brackets the point and stays in [0, 1].
+  EXPECT_LE(est->precision.lo, est->precision.point);
+  EXPECT_GE(est->precision.hi, est->precision.point);
+  EXPECT_GE(est->precision.lo, 0.0);
+  EXPECT_LE(est->precision.hi, 1.0);
+}
+
+TEST(EstimateAccuracyTest, UnsurePairsIgnored) {
+  CandidateSet predicted = CS({{0, 0}, {1, 1}});
+  LabeledSet sample = Labels({{{0, 0}, Label::kYes},
+                              {{1, 1}, Label::kUnsure},   // ignored FP-ish
+                              {{2, 2}, Label::kUnsure}});  // ignored
+  auto est = EstimateAccuracy(predicted, sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->unsure_ignored, 2u);
+  EXPECT_EQ(est->sample_size, 1u);
+  EXPECT_DOUBLE_EQ(est->precision.point, 1.0);
+}
+
+TEST(EstimateAccuracyTest, WiderZWidensInterval) {
+  CandidateSet predicted = CS({{0, 0}, {1, 1}, {2, 2}});
+  LabeledSet sample = Labels({{{0, 0}, Label::kYes},
+                              {{1, 1}, Label::kYes},
+                              {{2, 2}, Label::kNo}});
+  auto narrow = EstimateAccuracy(predicted, sample, /*z=*/1.0);
+  auto wide = EstimateAccuracy(predicted, sample, /*z=*/2.58);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(wide->precision.lo, narrow->precision.lo);
+  EXPECT_GT(wide->precision.hi, narrow->precision.hi);
+}
+
+TEST(EstimateAccuracyTest, EmptySampleIsError) {
+  EXPECT_EQ(EstimateAccuracy(CS({{0, 0}}), LabeledSet()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateAccuracyTest, MoreSamplesTightenTheInterval) {
+  // The §11 step-3 move: doubling the labeled sample narrows the range.
+  CandidateSet predicted;
+  {
+    std::vector<RecordPair> p;
+    for (uint32_t i = 0; i < 100; ++i) p.push_back({i, i});
+    predicted = CandidateSet(std::move(p));
+  }
+  LabeledSet small, large;
+  for (uint32_t i = 0; i < 200; ++i) {
+    // 80% of predicted are true; universe interleaves predicted/others.
+    RecordPair pair{i, i};
+    Label label = (i < 100) ? (i % 5 == 0 ? Label::kNo : Label::kYes)
+                            : Label::kNo;
+    if (i % 2 == 0) small.SetLabel(pair, label);
+    large.SetLabel(pair, label);
+  }
+  auto est_small = EstimateAccuracy(predicted, small);
+  auto est_large = EstimateAccuracy(predicted, large);
+  ASSERT_TRUE(est_small.ok() && est_large.ok());
+  EXPECT_LT(est_large->precision.hi - est_large->precision.lo,
+            est_small->precision.hi - est_small->precision.lo);
+}
+
+TEST(IntervalEstimateTest, ToStringFormat) {
+  IntervalEstimate e;
+  e.lo = 0.796;
+  e.hi = 0.8601;
+  EXPECT_EQ(e.ToString(), "(79.6%, 86.0%)");
+}
+
+// --- gold metrics -------------------------------------------------------------
+
+TEST(GoldMetricsTest, Counts) {
+  CandidateSet predicted = CS({{0, 0}, {1, 1}, {2, 2}});
+  CandidateSet gold = CS({{0, 0}, {1, 1}, {3, 3}});
+  GoldMetrics m = ComputeGoldMetrics(predicted, gold);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 2.0 / 3.0);
+}
+
+TEST(GoldMetricsTest, AmbiguousPairsExcludedBothWays) {
+  CandidateSet predicted = CS({{0, 0}, {1, 1}});
+  CandidateSet gold = CS({{0, 0}, {2, 2}});
+  CandidateSet ambiguous = CS({{1, 1}, {2, 2}});
+  GoldMetrics m = ComputeGoldMetrics(predicted, gold, ambiguous);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fp, 0u);  // (1,1) is ambiguous, not an FP
+  EXPECT_EQ(m.fn, 0u);  // (2,2) is ambiguous, not an FN
+}
+
+TEST(GoldMetricsTest, EmptyPrediction) {
+  GoldMetrics m = ComputeGoldMetrics(CandidateSet(), CS({{0, 0}}));
+  EXPECT_EQ(m.tp, 0u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+}  // namespace
+}  // namespace emx

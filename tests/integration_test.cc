@@ -1,0 +1,170 @@
+// End-to-end integration tests: the full paper pipeline on the default
+// synthetic universe, asserting the qualitative claims of §9-§12 hold:
+//   - learning beats the rule-based IRIS baseline on recall,
+//   - the case-fix features improve cross-validated F1,
+//   - negative rules raise precision at a small recall cost,
+//   - workflow patching recovers the matches blocking had lost.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/case_study.h"
+#include "src/datagen/iris_matcher.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/labeling/sampler.h"
+#include "src/rules/match_rules.h"
+
+namespace emx {
+namespace {
+
+// The whole pipeline is built once and shared across assertions.
+struct PipelineFixture {
+  CaseStudyData data;
+  ProjectedTables tables;
+  BlockingOutputs blocks;
+  LabeledSet labels;
+  TrainedMatcher trained_plain;   // no case fix
+  TrainedMatcher trained_fixed;   // with case fix
+  WorkflowRunResult ml_run;       // V2 rules, no negative rules
+  WorkflowRunResult final_run;    // V2 rules + negative rules
+  CandidateSet iris;
+};
+
+const PipelineFixture& Pipeline() {
+  static const PipelineFixture& fx = *[] {
+    auto* f = new PipelineFixture();
+    f->data = std::move(*GenerateCaseStudy());
+    f->tables = std::move(*PreprocessCaseStudy(f->data));
+    f->blocks = std::move(*RunStandardBlocking(f->tables.umetrics,
+                                               f->tables.usda));
+    OracleLabeler oracle = MakeOracle(f->data.gold, f->data.ambiguous);
+    f->labels = CollectCorrectedLabels(oracle, f->blocks.c, 3, 100, 100);
+    f->trained_plain = std::move(*TrainBestMatcher(
+        f->tables.umetrics, f->tables.usda, f->labels, PositiveRulesV1(),
+        /*case_fix=*/false));
+    f->trained_fixed = std::move(*TrainBestMatcher(
+        f->tables.umetrics, f->tables.usda, f->labels, PositiveRulesV1(),
+        /*case_fix=*/true));
+    EmWorkflow ml = BuildCaseStudyWorkflow(PositiveRulesV2(),
+                                           f->trained_fixed,
+                                           /*with_negative_rules=*/false);
+    EmWorkflow full = BuildCaseStudyWorkflow(PositiveRulesV2(),
+                                             f->trained_fixed,
+                                             /*with_negative_rules=*/true);
+    f->ml_run = std::move(*ml.Run(f->tables.umetrics, f->tables.usda));
+    f->final_run = std::move(*full.Run(f->tables.umetrics, f->tables.usda));
+    f->iris = std::move(*RunIrisMatcher(f->tables.umetrics, f->tables.usda));
+    return f;
+  }();
+  return fx;
+}
+
+TEST(IntegrationTest, BlockingKeepsAllTitleFindableGold) {
+  const PipelineFixture& fx = Pipeline();
+  // Every gold pair is either in C or recoverable via the project-number
+  // rule (the §10 retitled pairs).
+  auto m4 = ApplyRulesToPairs(
+      {MakeAwardProjectNumberRule("AwardNumber", "ProjectNumber")},
+      fx.tables.umetrics, fx.tables.usda, fx.data.gold);
+  ASSERT_TRUE(m4.ok());
+  for (const RecordPair& p : fx.data.gold) {
+    EXPECT_TRUE(fx.blocks.c.Contains(p) || m4->Contains(p))
+        << "(" << p.left << "," << p.right << ") unreachable";
+  }
+}
+
+TEST(IntegrationTest, CaseFixImprovesCrossValidation) {
+  const PipelineFixture& fx = Pipeline();
+  EXPECT_GT(fx.trained_fixed.cv_results.front().mean_f1,
+            fx.trained_plain.cv_results.front().mean_f1);
+}
+
+TEST(IntegrationTest, TrainingExcludesSureMatchesAndUnsure) {
+  const PipelineFixture& fx = Pipeline();
+  EXPECT_LT(fx.trained_fixed.train_data.size(),
+            fx.labels.size() - fx.labels.CountUnsure() + 1);
+  EXPECT_GE(fx.trained_fixed.train_data.size(), 20u);
+}
+
+TEST(IntegrationTest, MlRecallFarExceedsIris) {
+  const PipelineFixture& fx = Pipeline();
+  GoldMetrics ml = ComputeGoldMetrics(fx.ml_run.final_matches, fx.data.gold,
+                                      fx.data.ambiguous);
+  GoldMetrics iris =
+      ComputeGoldMetrics(fx.iris, fx.data.gold, fx.data.ambiguous);
+  EXPECT_DOUBLE_EQ(iris.Precision(), 1.0);
+  EXPECT_GT(ml.Recall(), iris.Recall() + 0.2);  // "much higher recall"
+  EXPECT_GT(ml.Recall(), 0.9);
+}
+
+TEST(IntegrationTest, NegativeRulesTradeRecallForPrecision) {
+  const PipelineFixture& fx = Pipeline();
+  GoldMetrics ml = ComputeGoldMetrics(fx.ml_run.final_matches, fx.data.gold,
+                                      fx.data.ambiguous);
+  GoldMetrics fin = ComputeGoldMetrics(fx.final_run.final_matches,
+                                       fx.data.gold, fx.data.ambiguous);
+  EXPECT_GT(fin.Precision(), ml.Precision());
+  EXPECT_GT(fin.Precision(), 0.95);       // the §12 claim
+  EXPECT_LE(fin.Recall(), ml.Recall());   // small recall cost...
+  EXPECT_GT(fin.Recall(), 0.9);           // ...but still high
+  // The flipped set is exactly the ML predictions minus survivors.
+  EXPECT_EQ(fx.final_run.flipped.size() + fx.final_run.after_rules.size(),
+            fx.final_run.ml_predicted.size());
+}
+
+TEST(IntegrationTest, FinalBeatsIrisOnF1) {
+  const PipelineFixture& fx = Pipeline();
+  GoldMetrics fin = ComputeGoldMetrics(fx.final_run.final_matches,
+                                       fx.data.gold, fx.data.ambiguous);
+  GoldMetrics iris =
+      ComputeGoldMetrics(fx.iris, fx.data.gold, fx.data.ambiguous);
+  EXPECT_GT(fin.F1(), iris.F1());
+}
+
+TEST(IntegrationTest, CorleoneEstimateBracketsTrueValues) {
+  const PipelineFixture& fx = Pipeline();
+  OracleLabeler oracle = MakeOracle(fx.data.gold, fx.data.ambiguous);
+  CandidateSet universe = CandidateSet::Union(fx.ml_run.candidates, fx.iris);
+  LabeledSet eval;
+  for (const RecordPair& p : SamplePairs(universe, 400, 555, eval)) {
+    eval.SetLabel(p, oracle.CorrectedLabel(p));
+  }
+  auto est = EstimateAccuracy(fx.final_run.final_matches, eval);
+  ASSERT_TRUE(est.ok());
+  GoldMetrics fin = ComputeGoldMetrics(fx.final_run.final_matches,
+                                       fx.data.gold, fx.data.ambiguous);
+  // Wald 95% interval with noise-free labels: allow a small tolerance
+  // around the bracket.
+  EXPECT_GE(fin.Precision(), est->precision.lo - 0.05);
+  EXPECT_LE(fin.Precision(), est->precision.hi + 0.05);
+  EXPECT_GE(fin.Recall(), est->recall.lo - 0.05);
+  EXPECT_LE(fin.Recall(), est->recall.hi + 0.05);
+}
+
+TEST(IntegrationTest, ExtraRecordsBranchFindsOnlySureMatches) {
+  const PipelineFixture& fx = Pipeline();
+  EmWorkflow full = BuildCaseStudyWorkflow(PositiveRulesV2(),
+                                           fx.trained_fixed,
+                                           /*with_negative_rules=*/true);
+  auto run = full.Run(fx.tables.extra, fx.tables.usda);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->sure_matches.size(), fx.data.gold_extra.size());
+  // The paper found zero ML matches among the extra records; allow a
+  // whisker of slack for matcher variation.
+  EXPECT_LE(run->after_rules.size(), 5u);
+  GoldMetrics g = ComputeGoldMetrics(run->final_matches, fx.data.gold_extra,
+                                     fx.data.ambiguous_extra);
+  EXPECT_DOUBLE_EQ(g.Recall(), 1.0);
+}
+
+TEST(IntegrationTest, WorkflowIsDeterministic) {
+  const PipelineFixture& fx = Pipeline();
+  EmWorkflow full = BuildCaseStudyWorkflow(PositiveRulesV2(),
+                                           fx.trained_fixed,
+                                           /*with_negative_rules=*/true);
+  auto again = full.Run(fx.tables.umetrics, fx.tables.usda);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->final_matches, fx.final_run.final_matches);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "src/labeling/label.h"
+#include "src/labeling/label_debugger.h"
+#include "src/labeling/oracle.h"
+#include "src/labeling/sampler.h"
+#include "src/ml/decision_tree.h"
+
+namespace emx {
+namespace {
+
+CandidateSet CS(std::initializer_list<RecordPair> pairs) {
+  return CandidateSet(std::vector<RecordPair>(pairs));
+}
+
+// --- LabeledSet ----------------------------------------------------------------
+
+TEST(LabeledSetTest, SetAndGet) {
+  LabeledSet s;
+  s.SetLabel({1, 2}, Label::kYes);
+  s.SetLabel({3, 4}, Label::kUnsure);
+  EXPECT_EQ(s.size(), 2u);
+  Label l;
+  ASSERT_TRUE(s.GetLabel({1, 2}, &l));
+  EXPECT_EQ(l, Label::kYes);
+  EXPECT_FALSE(s.GetLabel({9, 9}, &l));
+  EXPECT_TRUE(s.Contains({3, 4}));
+}
+
+TEST(LabeledSetTest, OverwriteUpdatesInPlace) {
+  LabeledSet s;
+  s.SetLabel({1, 1}, Label::kNo);
+  s.SetLabel({1, 1}, Label::kYes);  // the §8 label-correction flow
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.CountYes(), 1u);
+  EXPECT_EQ(s.CountNo(), 0u);
+}
+
+TEST(LabeledSetTest, Counts) {
+  LabeledSet s;
+  s.SetLabel({0, 0}, Label::kYes);
+  s.SetLabel({0, 1}, Label::kNo);
+  s.SetLabel({0, 2}, Label::kNo);
+  s.SetLabel({0, 3}, Label::kUnsure);
+  EXPECT_EQ(s.CountYes(), 1u);
+  EXPECT_EQ(s.CountNo(), 2u);
+  EXPECT_EQ(s.CountUnsure(), 1u);
+}
+
+TEST(LabeledSetTest, WithoutUnsureDropsOnlyUnsure) {
+  LabeledSet s;
+  s.SetLabel({0, 0}, Label::kYes);
+  s.SetLabel({0, 1}, Label::kUnsure);
+  LabeledSet d = s.WithoutUnsure();
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains({0, 0}));
+  EXPECT_FALSE(d.Contains({0, 1}));
+}
+
+TEST(LabeledSetTest, MergeNewerWins) {
+  LabeledSet a, b;
+  a.SetLabel({0, 0}, Label::kNo);
+  a.SetLabel({0, 1}, Label::kYes);
+  b.SetLabel({0, 0}, Label::kYes);
+  a.Merge(b);
+  Label l;
+  ASSERT_TRUE(a.GetLabel({0, 0}, &l));
+  EXPECT_EQ(l, Label::kYes);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(LabeledSetTest, PairsAsCandidateSet) {
+  LabeledSet s;
+  s.SetLabel({5, 5}, Label::kYes);
+  s.SetLabel({1, 1}, Label::kNo);
+  CandidateSet c = s.Pairs();
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.Contains({5, 5}));
+}
+
+TEST(LabelTest, Names) {
+  EXPECT_EQ(LabelToString(Label::kYes), "Yes");
+  EXPECT_EQ(LabelToString(Label::kNo), "No");
+  EXPECT_EQ(LabelToString(Label::kUnsure), "Unsure");
+}
+
+// --- sampler --------------------------------------------------------------------
+
+TEST(SamplerTest, SampleSizeAndMembership) {
+  std::vector<RecordPair> pool;
+  for (uint32_t i = 0; i < 100; ++i) pool.push_back({i, i});
+  CandidateSet c(pool);
+  CandidateSet sample = SamplePairs(c, 30, 7);
+  EXPECT_EQ(sample.size(), 30u);
+  for (const RecordPair& p : sample) EXPECT_TRUE(c.Contains(p));
+}
+
+TEST(SamplerTest, ExcludesAlreadyLabeled) {
+  CandidateSet c = CS({{0, 0}, {1, 1}, {2, 2}});
+  LabeledSet labeled;
+  labeled.SetLabel({1, 1}, Label::kYes);
+  CandidateSet sample = SamplePairs(c, 10, 7, labeled);
+  EXPECT_EQ(sample.size(), 2u);
+  EXPECT_FALSE(sample.Contains({1, 1}));
+}
+
+TEST(SamplerTest, DeterministicPerSeed) {
+  std::vector<RecordPair> pool;
+  for (uint32_t i = 0; i < 200; ++i) pool.push_back({i, 0});
+  CandidateSet c(pool);
+  EXPECT_EQ(SamplePairs(c, 50, 7).pairs(), SamplePairs(c, 50, 7).pairs());
+  EXPECT_NE(SamplePairs(c, 50, 7).pairs(), SamplePairs(c, 50, 8).pairs());
+}
+
+TEST(SamplerTest, RequestLargerThanPoolReturnsAll) {
+  CandidateSet c = CS({{0, 0}, {1, 1}});
+  EXPECT_EQ(SamplePairs(c, 100, 7).size(), 2u);
+}
+
+// --- oracle ---------------------------------------------------------------------
+
+TEST(OracleTest, NoiselessOracleMatchesGold) {
+  CandidateSet gold = CS({{0, 0}, {1, 1}});
+  OracleOptions opts;
+  opts.noise_rate = 0.0;
+  OracleLabeler oracle(gold, CandidateSet(), opts);
+  EXPECT_EQ(oracle.LabelPair({0, 0}), Label::kYes);
+  EXPECT_EQ(oracle.LabelPair({0, 1}), Label::kNo);
+  EXPECT_EQ(oracle.CorrectedLabel({1, 1}), Label::kYes);
+}
+
+TEST(OracleTest, LabelsAreStablePerPair) {
+  CandidateSet gold = CS({{0, 0}});
+  OracleOptions opts;
+  opts.noise_rate = 0.5;
+  OracleLabeler oracle(gold, CandidateSet(), opts);
+  Label first = oracle.LabelPair({3, 7});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(oracle.LabelPair({3, 7}), first);
+}
+
+TEST(OracleTest, AmbiguousPairsMostlyUnsure) {
+  std::vector<RecordPair> amb;
+  for (uint32_t i = 0; i < 500; ++i) amb.push_back({i, i});
+  OracleOptions opts;
+  opts.unsure_rate = 0.8;
+  OracleLabeler oracle(CandidateSet(), CandidateSet(amb), opts);
+  size_t unsure = 0;
+  for (uint32_t i = 0; i < 500; ++i) {
+    if (oracle.LabelPair({i, i}) == Label::kUnsure) ++unsure;
+  }
+  EXPECT_NEAR(static_cast<double>(unsure) / 500.0, 0.8, 0.08);
+}
+
+TEST(OracleTest, CorrectedLabelRemovesNoiseButKeepsAmbiguity) {
+  CandidateSet gold = CS({{0, 0}});
+  CandidateSet amb = CS({{5, 5}});
+  OracleOptions opts;
+  opts.noise_rate = 1.0;  // every decidable first-pass label is wrong
+  OracleLabeler oracle(gold, amb, opts);
+  EXPECT_EQ(oracle.LabelPair({0, 0}), Label::kNo);        // noisy
+  EXPECT_EQ(oracle.CorrectedLabel({0, 0}), Label::kYes);  // fixed
+  // Ambiguity survives correction (D1: "even they did not know").
+  Label amb_label = oracle.CorrectedLabel({5, 5});
+  EXPECT_EQ(amb_label, oracle.LabelPair({5, 5}) == Label::kUnsure
+                           ? Label::kUnsure
+                           : amb_label);
+}
+
+TEST(OracleTest, NoiseRateApproximatelyHonored) {
+  CandidateSet gold;  // everything is a true non-match
+  OracleOptions opts;
+  opts.noise_rate = 0.2;
+  OracleLabeler oracle(gold, CandidateSet(), opts);
+  size_t wrong = 0;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    if (oracle.LabelPair({i, i + 1}) == Label::kYes) ++wrong;
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / 2000.0, 0.2, 0.03);
+}
+
+// --- label debugger ---------------------------------------------------------------
+
+TEST(LabelDebuggerTest, FindsPlantedMislabel) {
+  // One feature cleanly separates; row 3 carries a wrong label.
+  std::vector<LabeledPair> pairs;
+  std::vector<std::vector<double>> rows;
+  for (uint32_t i = 0; i < 20; ++i) {
+    bool is_match = i < 10;
+    pairs.push_back({{i, i},
+                     is_match ? Label::kYes : Label::kNo});
+    rows.push_back({is_match ? 0.9 + 0.001 * i : 0.1 + 0.001 * i});
+  }
+  pairs[3].label = Label::kNo;  // planted error
+  auto found = DebugLabels(pairs, rows, [] {
+    return std::make_unique<DecisionTreeMatcher>();
+  });
+  ASSERT_TRUE(found.ok());
+  // The planted mistake must be reported (a couple of boundary rows may
+  // accompany it, since the wrong label perturbs every fold it trains in).
+  EXPECT_LE(found->size(), 4u);
+  bool planted_found = false;
+  for (const LabelDiscrepancy& d : *found) {
+    if (d.pair == (RecordPair{3, 3})) {
+      planted_found = true;
+      EXPECT_EQ(d.given, Label::kNo);
+      EXPECT_EQ(d.predicted, Label::kYes);
+    }
+  }
+  EXPECT_TRUE(planted_found);
+}
+
+TEST(LabelDebuggerTest, UnsurePairsAreSkipped) {
+  std::vector<LabeledPair> pairs = {{{0, 0}, Label::kYes},
+                                    {{1, 1}, Label::kUnsure},
+                                    {{2, 2}, Label::kNo},
+                                    {{3, 3}, Label::kYes},
+                                    {{4, 4}, Label::kNo}};
+  std::vector<std::vector<double>> rows = {
+      {0.9}, {0.5}, {0.1}, {0.95}, {0.05}};
+  auto found = DebugLabels(pairs, rows, [] {
+    return std::make_unique<DecisionTreeMatcher>();
+  });
+  ASSERT_TRUE(found.ok());
+  for (const auto& d : *found) {
+    EXPECT_NE(d.pair, (RecordPair{1, 1}));
+  }
+}
+
+TEST(LabelDebuggerTest, MisalignedInputsFail) {
+  std::vector<LabeledPair> pairs = {{{0, 0}, Label::kYes}};
+  std::vector<std::vector<double>> rows;
+  EXPECT_EQ(DebugLabels(pairs, rows,
+                        [] { return std::make_unique<DecisionTreeMatcher>(); })
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace emx

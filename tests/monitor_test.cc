@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/eval/accuracy_monitor.h"
+
+namespace emx {
+namespace {
+
+CandidateSet MakeBatch(uint32_t n, uint32_t offset = 0) {
+  std::vector<RecordPair> pairs;
+  for (uint32_t i = 0; i < n; ++i) pairs.push_back({offset + i, i});
+  return CandidateSet(std::move(pairs));
+}
+
+// A labeler that calls a fixed fraction of pairs false positives (left
+// index below the cutoff -> true match).
+AccuracyMonitor::Labeler FractionLabeler(uint32_t true_below) {
+  return [true_below](const RecordPair& p) {
+    return p.left < true_below ? Label::kYes : Label::kNo;
+  };
+}
+
+TEST(AccuracyMonitorTest, HighPrecisionBatchPassesQuietly) {
+  AccuracyMonitor monitor({.sample_size = 50, .precision_alert = 0.9},
+                          FractionLabeler(100));
+  auto report = monitor.Observe(MakeBatch(100));  // all true
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->precision.point, 1.0);
+  EXPECT_FALSE(report->alert);
+  EXPECT_FALSE(monitor.alert_active());
+  EXPECT_EQ(report->labeled, 50u);
+}
+
+TEST(AccuracyMonitorTest, DriftRaisesAlert) {
+  AccuracyMonitor monitor({.sample_size = 60, .precision_alert = 0.9},
+                          FractionLabeler(50));
+  // Batch 1: pairs 0..99 -> about half are false positives.
+  auto report = monitor.Observe(MakeBatch(100));
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->precision.point, 0.9);
+  EXPECT_TRUE(report->alert);
+  EXPECT_TRUE(monitor.alert_active());
+}
+
+TEST(AccuracyMonitorTest, HistoryAccumulatesAcrossBatches) {
+  AccuracyMonitor monitor({.sample_size = 20, .precision_alert = 0.5},
+                          FractionLabeler(1000));
+  ASSERT_TRUE(monitor.Observe(MakeBatch(40)).ok());
+  ASSERT_TRUE(monitor.Observe(MakeBatch(40, 100)).ok());
+  ASSERT_EQ(monitor.history().size(), 2u);
+  EXPECT_EQ(monitor.history()[0].batch, 0u);
+  EXPECT_EQ(monitor.history()[1].batch, 1u);
+  std::string log = monitor.HistoryToString();
+  EXPECT_NE(log.find("batch 0"), std::string::npos);
+  EXPECT_NE(log.find("batch 1"), std::string::npos);
+  EXPECT_NE(log.find("[ok]"), std::string::npos);
+}
+
+TEST(AccuracyMonitorTest, UnsureLabelsAreDiscarded) {
+  AccuracyMonitor monitor(
+      {.sample_size = 30, .precision_alert = 0.5},
+      [](const RecordPair& p) {
+        return p.left % 3 == 0 ? Label::kUnsure : Label::kYes;
+      });
+  auto report = monitor.Observe(MakeBatch(30));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->unsure, 10u);
+  EXPECT_EQ(report->labeled, 20u);
+  EXPECT_DOUBLE_EQ(report->precision.point, 1.0);
+}
+
+TEST(AccuracyMonitorTest, EmptyBatchRejected) {
+  AccuracyMonitor monitor({}, FractionLabeler(1));
+  EXPECT_EQ(monitor.Observe(CandidateSet()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AccuracyMonitorTest, MissingLabelerRejected) {
+  AccuracyMonitor monitor({}, nullptr);
+  EXPECT_EQ(monitor.Observe(MakeBatch(5)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AccuracyMonitorTest, SampleSmallerThanBatchSamplesWithoutReplacement) {
+  AccuracyMonitor monitor({.sample_size = 200, .precision_alert = 0.5},
+                          FractionLabeler(1000));
+  auto report = monitor.Observe(MakeBatch(80));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->labeled, 80u);  // capped at batch size
+}
+
+}  // namespace
+}  // namespace emx

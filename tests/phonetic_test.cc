@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/core/strings.h"
+#include "src/text/phonetic.h"
+
+namespace emx {
+namespace {
+
+TEST(SoundexTest, ClassicReferenceCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("o'brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex("SMITH"), Soundex("smith"));
+}
+
+TEST(SoundexTest, ShortAndEmptyInputs) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("ab"), "A100");
+}
+
+TEST(SoundexSimilarityTest, MatchesHomophones) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Smith", "Smyth"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Smith", "Jones"), 0.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", "Smith"), 0.0);
+}
+
+TEST(AffineGapTest, IdentityAndEmpty) {
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("", "abc"), 0.0);
+}
+
+TEST(AffineGapTest, OneLongGapBeatsScatteredEdits) {
+  // "Smith, J" embedded in "Smith, John R": one long insertion.
+  double contiguous = AffineGapSimilarity("Smith, J", "Smith, John R");
+  // Same number of extra characters but scattered through the string.
+  double scattered = AffineGapSimilarity("Smith, J", "Samibtahr, nJ");
+  EXPECT_GT(contiguous, scattered);
+  EXPECT_GT(contiguous, 0.7);
+}
+
+TEST(AffineGapTest, SymmetricAndBounded) {
+  const char* samples[] = {"kermicle", "kurmickle", "colquhoun", "a", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double ab = AffineGapSimilarity(a, b);
+      EXPECT_DOUBLE_EQ(ab, AffineGapSimilarity(b, a));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+// Property sweep: codes are always deterministic, four characters, and
+// shaped "letter + 3 digits" for any alphabetic-containing input.
+class SoundexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundexPropertyTest, CodeShapeInvariant) {
+  RandomEngine rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    size_t len = 1 + rng.NextBelow(12);
+    std::string s;
+    for (size_t c = 0; c < len; ++c) {
+      s += static_cast<char>('a' + rng.NextBelow(26));
+    }
+    std::string code = Soundex(s);
+    ASSERT_EQ(code.size(), 4u) << s;
+    EXPECT_GE(code[0], 'A');
+    EXPECT_LE(code[0], 'Z');
+    for (size_t c = 1; c < 4; ++c) {
+      EXPECT_GE(code[c], '0') << s;
+      EXPECT_LE(code[c], '6') << s;
+    }
+    EXPECT_EQ(code, Soundex(s));                  // deterministic
+    EXPECT_EQ(code, Soundex(AsciiToUpper(s)));    // case-insensitive
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "src/core/strings.h"
+#include "src/rules/match_rules.h"
+#include "src/rules/number_pattern.h"
+#include "src/table/csv.h"
+
+namespace emx {
+namespace {
+
+// --- pattern signatures (the §12 examples, verbatim) -------------------------
+
+TEST(PatternSignatureTest, PaperExamples) {
+  EXPECT_EQ(PatternSignature("03-CS-112313000-031"), "##-XX-#########-###");
+  EXPECT_EQ(PatternSignature("2001-34101-10526"), "YYYY-#####-#####");
+  EXPECT_EQ(PatternSignature("WIS01560"), "XXX#####");
+  EXPECT_EQ(PatternSignature("WIS04509"), "XXX#####");
+}
+
+TEST(PatternSignatureTest, YearDetectionBounds) {
+  EXPECT_EQ(PatternSignature("1899-1"), "####-#");   // below year range
+  EXPECT_EQ(PatternSignature("2101-1"), "####-#");   // above year range
+  EXPECT_EQ(PatternSignature("1997-1"), "YYYY-#");
+  EXPECT_EQ(PatternSignature("2100"), "YYYY");
+  // A five-digit leading group is not a year.
+  EXPECT_EQ(PatternSignature("20011-3"), "#####-#");
+}
+
+TEST(PatternSignatureTest, EmptyAndPlain) {
+  EXPECT_EQ(PatternSignature(""), "");
+  EXPECT_EQ(PatternSignature("abc"), "XXX");
+  EXPECT_EQ(PatternSignature("a-1 b"), "X-# X");
+}
+
+TEST(ComparableTest, PaperSemantics) {
+  // Same pattern, different values: comparable (and the §12 rule fires).
+  EXPECT_TRUE(ArePatternComparable("WIS01560", "WIS04509"));
+  // Different patterns: not comparable.
+  EXPECT_FALSE(ArePatternComparable("03-CS-112313000-031",
+                                    "2001-34101-10526"));
+  EXPECT_FALSE(ArePatternComparable("", "WIS01560"));
+  EXPECT_TRUE(ArePatternComparable("2001-34101-10526", "2008-34103-19449"));
+}
+
+TEST(AwardNumberSuffixTest, SplitsOnFirstWhitespace) {
+  EXPECT_EQ(AwardNumberSuffix("10.200 2008-34103-19449"), "2008-34103-19449");
+  EXPECT_EQ(AwardNumberSuffix("10.203 WIS01040"), "WIS01040");
+  EXPECT_EQ(AwardNumberSuffix("no-space-here"), "no-space-here");
+  EXPECT_EQ(AwardNumberSuffix("a b c"), "b c");
+  EXPECT_EQ(AwardNumberSuffix("trailing "), "");
+}
+
+// --- rules over tables ---------------------------------------------------------
+
+Table RuleLeft() {
+  return *ReadCsvString(
+      "AwardNumber,Title\n"
+      "10.200 2008-34103-19449,corn guidelines\n"
+      "10.203 WIS01040,swamp dodder\n"
+      "10.100 MSN000111,title evidence only\n"
+      ",null award\n");
+}
+
+Table RuleRight() {
+  return *ReadCsvString(
+      "AwardNumber,ProjectNumber,Title\n"
+      "2008-34103-19449,WIS09999,Corn Guidelines\n"
+      ",WIS01040,Swamp Dodder\n"
+      ",WIS04509,unrelated\n"
+      "2008-34103-19440,WIS08888,typo sibling\n");
+}
+
+TEST(MatchRulesTest, M1FiresOnSuffixEquality) {
+  MatchRule m1 = MakeM1AwardNumberRule("AwardNumber", "AwardNumber");
+  Table l = RuleLeft(), r = RuleRight();
+  EXPECT_TRUE(m1.fires(l, 0, r, 0));
+  EXPECT_FALSE(m1.fires(l, 0, r, 3));  // one digit differs
+  EXPECT_FALSE(m1.fires(l, 1, r, 0));
+  EXPECT_FALSE(m1.fires(l, 3, r, 0));  // null left award
+  EXPECT_FALSE(m1.fires(l, 0, r, 1));  // null right award
+}
+
+TEST(MatchRulesTest, M4FiresOnProjectNumberEquality) {
+  MatchRule m4 = MakeAwardProjectNumberRule("AwardNumber", "ProjectNumber");
+  Table l = RuleLeft(), r = RuleRight();
+  EXPECT_TRUE(m4.fires(l, 1, r, 1));
+  EXPECT_FALSE(m4.fires(l, 1, r, 2));  // different WIS number
+  EXPECT_FALSE(m4.fires(l, 0, r, 0));  // federal vs WIS
+}
+
+TEST(MatchRulesTest, NegativeRuleOnlyFiresWhenComparable) {
+  auto suffix = [](const std::string& s) { return AwardNumberSuffix(s); };
+  MatchRule neg = MakeComparableMismatchRule("neg", "AwardNumber",
+                                             "ProjectNumber", suffix, nullptr);
+  Table l = RuleLeft(), r = RuleRight();
+  // WIS01040 vs WIS04509: comparable and different -> fires.
+  EXPECT_TRUE(neg.fires(l, 1, r, 2));
+  // WIS01040 vs WIS01040: equal -> does not fire.
+  EXPECT_FALSE(neg.fires(l, 1, r, 1));
+  // MSN000111 vs WIS04509: different patterns -> does not fire.
+  EXPECT_FALSE(neg.fires(l, 2, r, 2));
+  // Null side -> does not fire.
+  EXPECT_FALSE(neg.fires(l, 3, r, 2));
+}
+
+TEST(MatchRulesTest, ApplyRulesCartesianCollectsAllFirings) {
+  Table l = RuleLeft(), r = RuleRight();
+  std::vector<MatchRule> rules = {
+      MakeM1AwardNumberRule("AwardNumber", "AwardNumber"),
+      MakeAwardProjectNumberRule("AwardNumber", "ProjectNumber")};
+  auto sure = ApplyRulesCartesian(rules, l, r);
+  ASSERT_TRUE(sure.ok());
+  EXPECT_EQ(sure->size(), 2u);
+  EXPECT_TRUE(sure->Contains({0, 0}));
+  EXPECT_TRUE(sure->Contains({1, 1}));
+}
+
+TEST(MatchRulesTest, ApplyRulesToPairsRestrictsScope) {
+  Table l = RuleLeft(), r = RuleRight();
+  std::vector<MatchRule> rules = {
+      MakeM1AwardNumberRule("AwardNumber", "AwardNumber")};
+  CandidateSet scope(std::vector<RecordPair>{{1, 1}, {2, 2}});
+  auto hits = ApplyRulesToPairs(rules, l, r, scope);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());  // the firing pair (0,0) is out of scope
+}
+
+TEST(MatchRulesTest, FilterWithNegativeRulesPartitions) {
+  Table l = RuleLeft(), r = RuleRight();
+  auto suffix = [](const std::string& s) { return AwardNumberSuffix(s); };
+  std::vector<MatchRule> neg = {
+      MakeComparableMismatchRule("neg_award", "AwardNumber", "AwardNumber",
+                                 suffix, nullptr),
+      MakeComparableMismatchRule("neg_proj", "AwardNumber", "ProjectNumber",
+                                 suffix, nullptr)};
+  CandidateSet matches(
+      std::vector<RecordPair>{{0, 0}, {0, 3}, {1, 2}, {2, 2}});
+  CandidateSet flipped;
+  auto kept = FilterWithNegativeRules(neg, l, r, matches, &flipped);
+  ASSERT_TRUE(kept.ok());
+  // (0,3): comparable federal numbers differing by a digit -> flipped.
+  // (1,2): comparable WIS numbers differing -> flipped.
+  EXPECT_TRUE(flipped.Contains({0, 3}));
+  EXPECT_TRUE(flipped.Contains({1, 2}));
+  EXPECT_TRUE(kept->Contains({0, 0}));
+  EXPECT_TRUE(kept->Contains({2, 2}));
+  EXPECT_EQ(kept->size() + flipped.size(), matches.size());
+}
+
+TEST(MatchRulesTest, EqualityRuleWithBothTransforms) {
+  Table l = *ReadCsvString("K\nABC-1\n");
+  Table r = *ReadCsvString("K\nabc-1\n");
+  MatchRule rule = MakeEqualityRule(
+      "ci", "K", "K",
+      [](const std::string& s) { return AsciiToLower(s); },
+      [](const std::string& s) { return AsciiToLower(s); });
+  EXPECT_TRUE(rule.fires(l, 0, r, 0));
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/table/csv.h"
+#include "src/table/profile.h"
+#include "src/table/table_ops.h"
+
+namespace emx {
+namespace {
+
+Table People() {
+  return *ReadCsvString(
+      "id,name,dept,salary\n"
+      "1,ann,cs,100\n"
+      "2,bob,econ,90\n"
+      "3,cal,cs,\n"
+      "4,dee,bio,80\n");
+}
+
+Table Depts() {
+  return *ReadCsvString(
+      "dept,building\n"
+      "cs,noland\n"
+      "econ,social science\n");
+}
+
+// --- Project / Rename -----------------------------------------------------------
+
+TEST(ProjectTest, KeepsRequestedColumnsInOrder) {
+  auto t = Project(People(), {"salary", "id"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().names(), (std::vector<std::string>{"salary", "id"}));
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->at(0, "salary").AsInt(), 100);
+}
+
+TEST(ProjectTest, MissingColumnFails) {
+  EXPECT_EQ(Project(People(), {"nope"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RenameColumnsTest, PairwiseRenames) {
+  auto t = RenameColumns(People(), {{"name", "full_name"}, {"dept", "unit"}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->schema().Contains("full_name"));
+  EXPECT_TRUE(t->schema().Contains("unit"));
+  EXPECT_FALSE(t->schema().Contains("name"));
+}
+
+// --- Select ---------------------------------------------------------------------
+
+TEST(SelectTest, PredicateFilter) {
+  Table t = Select(People(), [](const Table& tab, size_t r) {
+    return tab.at(r, "dept").AsString() == "cs";
+  });
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, "name").AsString(), "ann");
+  EXPECT_EQ(t.at(1, "name").AsString(), "cal");
+}
+
+// --- HashJoin -------------------------------------------------------------------
+
+TEST(HashJoinTest, InnerJoinSemantics) {
+  auto j = HashJoin(People(), "dept", Depts(), "dept");
+  ASSERT_TRUE(j.ok());
+  // bio has no department row; cs matches twice.
+  EXPECT_EQ(j->num_rows(), 3u);
+  EXPECT_TRUE(j->schema().Contains("building"));
+  EXPECT_EQ(j->at(0, "building").AsString(), "noland");
+}
+
+TEST(HashJoinTest, NullKeysNeverJoin) {
+  Table l = *ReadCsvString("k,v\n,1\nx,2\n");
+  Table r = *ReadCsvString("k,w\n,9\nx,8\n");
+  auto j = HashJoin(l, "k", r, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 1u);
+  EXPECT_EQ(j->at(0, "w").AsInt(), 8);
+}
+
+TEST(HashJoinTest, NameCollisionGetsSuffix) {
+  Table l = *ReadCsvString("k,v\nx,1\n");
+  Table r = *ReadCsvString("k,v\nx,2\n");
+  auto j = HashJoin(l, "k", r, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->schema().Contains("v"));
+  EXPECT_TRUE(j->schema().Contains("v_right"));
+  EXPECT_EQ(j->at(0, "v").AsInt(), 1);
+  EXPECT_EQ(j->at(0, "v_right").AsInt(), 2);
+}
+
+// --- GroupConcat -----------------------------------------------------------------
+
+TEST(GroupConcatTest, ConcatenatesPerKey) {
+  Table t = *ReadCsvString(
+      "award,person\nA,ann\nA,bob\nB,cal\nA,ann\n,ghost\nB,\n");
+  auto g = GroupConcat(t, "award", "person", "|");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_rows(), 2u);  // null keys/values dropped
+  EXPECT_EQ(g->at(0, "award").AsString(), "A");
+  EXPECT_EQ(g->at(0, "person").AsString(), "ann|bob|ann");
+  EXPECT_EQ(g->at(1, "person").AsString(), "cal");
+}
+
+// --- AddIdColumn / ConcatRows -------------------------------------------------------
+
+TEST(AddIdColumnTest, PrependsSequentialIds) {
+  auto t = AddIdColumn(People(), "RecordId");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().IndexOf("RecordId"), 0);
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_EQ(t->at(r, "RecordId").AsInt(), static_cast<int64_t>(r));
+  }
+  EXPECT_EQ(AddIdColumn(*t, "RecordId").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ConcatRowsTest, RequiresEqualSchemas) {
+  Table a = People();
+  auto both = ConcatRows(a, a);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->num_rows(), 8u);
+  EXPECT_EQ(ConcatRows(a, Depts()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- profiling -------------------------------------------------------------------
+
+TEST(ProfileTest, ColumnStatistics) {
+  auto p = ProfileColumn(People(), "salary");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->count, 4u);
+  EXPECT_EQ(p->missing, 1u);
+  EXPECT_EQ(p->unique, 3u);
+  EXPECT_EQ(p->numeric_count, 3u);
+  EXPECT_DOUBLE_EQ(p->mean, 90.0);
+  EXPECT_DOUBLE_EQ(p->median, 90.0);
+  EXPECT_DOUBLE_EQ(p->min, 80.0);
+  EXPECT_DOUBLE_EQ(p->max, 100.0);
+}
+
+TEST(ProfileTest, TopValuesSortedByFrequency) {
+  Table t = *ReadCsvString("d\ncs\ncs\necon\nbio\ncs\necon\n");
+  auto p = ProfileColumn(t, "d", {.top_k = 2});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->top_values.size(), 2u);
+  EXPECT_EQ(p->top_values[0].first, "cs");
+  EXPECT_EQ(p->top_values[0].second, 3u);
+  EXPECT_EQ(p->top_values[1].first, "econ");
+}
+
+TEST(ProfileTest, EvenCountMedianAverages) {
+  Table t = *ReadCsvString("n\n1\n2\n3\n4\n");
+  auto p = ProfileColumn(t, "n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->median, 2.5);
+}
+
+TEST(ProfileTest, WholeTable) {
+  TableProfile tp = ProfileTable(People());
+  EXPECT_EQ(tp.num_rows, 4u);
+  EXPECT_EQ(tp.num_columns, 4u);
+  EXPECT_EQ(tp.columns.size(), 4u);
+  EXPECT_NE(tp.ToString().find("salary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "src/table/schema.h"
+#include "src/table/table.h"
+#include "src/table/value.h"
+
+namespace emx {
+namespace {
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.AsString("fallback"), "fallback");
+  EXPECT_EQ(v.AsInt(-1), -1);
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.0);
+  EXPECT_EQ(v.AsString(), "42");
+}
+
+TEST(ValueTest, DoubleFormatting) {
+  EXPECT_EQ(Value(3.0).AsString(), "3");
+  EXPECT_EQ(Value(2.5).AsString(), "2.5");
+  EXPECT_EQ(Value(-7.0).AsString(), "-7");
+}
+
+TEST(ValueTest, StringAccessors) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.AsStringView(), "hello");
+  EXPECT_EQ(v.AsInt(9), 9);  // no coercion from strings
+}
+
+TEST(ValueTest, EqualityMixesNumericTypes) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+  EXPECT_NE(Value("3"), Value(int64_t{3}));  // string vs numeric differ
+}
+
+TEST(ValueTest, OrderingNullNumericString) {
+  EXPECT_LT(Value::Null(), Value(int64_t{1}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value(1.0), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+// --- Schema -----------------------------------------------------------------
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("c"), -1);
+  EXPECT_TRUE(s.Contains("a"));
+  EXPECT_FALSE(s.Contains("c"));
+}
+
+TEST(SchemaTest, FromNames) {
+  Schema s = Schema::FromNames({"x", "y"});
+  EXPECT_EQ(s.field(0).type, DataType::kAny);
+  EXPECT_EQ(s.names(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicate) {
+  Schema s = Schema::FromNames({"x"});
+  EXPECT_TRUE(s.AddField({"y", DataType::kDouble}).ok());
+  Status dup = s.AddField({"x", DataType::kInt64});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RenameField) {
+  Schema s = Schema::FromNames({"x", "y"});
+  EXPECT_TRUE(s.RenameField("x", "z").ok());
+  EXPECT_EQ(s.IndexOf("z"), 0);
+  EXPECT_EQ(s.IndexOf("x"), -1);
+  EXPECT_EQ(s.RenameField("missing", "w").code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.RenameField("z", "y").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(s.RenameField("y", "y").ok());  // no-op rename
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"x", DataType::kInt64}});
+  Schema c({{"x", DataType::kDouble}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+// --- Table ------------------------------------------------------------------
+
+Table MakeTestTable() {
+  Table t(Schema({{"id", DataType::kInt64}, {"name", DataType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("alpha")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("beta")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value::Null()}).ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(0, 1).AsString(), "alpha");
+  EXPECT_EQ(t.at(1, "name").AsString(), "beta");
+  EXPECT_TRUE(t.at(2, "name").is_null());
+  EXPECT_TRUE(t.at(0, "no_such_column").is_null());
+}
+
+TEST(TableTest, AppendRowWidthMismatchFails) {
+  Table t = MakeTestTable();
+  Status s = t.AppendRow({Value(int64_t{4})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(TableTest, SetMutatesCell) {
+  Table t = MakeTestTable();
+  t.set(2, 1, Value("gamma"));
+  EXPECT_EQ(t.at(2, "name").AsString(), "gamma");
+}
+
+TEST(TableTest, RowMaterialization) {
+  Table t = MakeTestTable();
+  std::vector<Value> row = t.Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].AsInt(), 2);
+  EXPECT_EQ(row[1].AsString(), "beta");
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakeTestTable();
+  auto col = t.ColumnByName("id");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->size(), 3u);
+  EXPECT_EQ(t.ColumnByName("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, AddColumnWithValues) {
+  Table t = MakeTestTable();
+  EXPECT_TRUE(t.AddColumn({"score", DataType::kDouble},
+                          {Value(1.0), Value(2.0), Value(3.0)})
+                  .ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, "score").AsDouble(), 3.0);
+  // Wrong length fails.
+  EXPECT_EQ(t.AddColumn({"bad", DataType::kDouble}, {Value(1.0)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AddEmptyColumnIsAllNull) {
+  Table t = MakeTestTable();
+  ASSERT_TRUE(t.AddColumn({"extra", DataType::kString}).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_TRUE(t.at(r, "extra").is_null());
+  }
+}
+
+TEST(TableTest, DropColumn) {
+  Table t = MakeTestTable();
+  ASSERT_TRUE(t.DropColumn("id").ok());
+  EXPECT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.schema().IndexOf("name"), 0);
+  EXPECT_EQ(t.at(0, 0).AsString(), "alpha");
+  EXPECT_EQ(t.DropColumn("id").code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, RenameColumn) {
+  Table t = MakeTestTable();
+  ASSERT_TRUE(t.RenameColumn("name", "title").ok());
+  EXPECT_EQ(t.at(0, "title").AsString(), "alpha");
+}
+
+TEST(TableTest, IsUniqueKey) {
+  Table t = MakeTestTable();
+  EXPECT_TRUE(*t.IsUniqueKey("id"));
+  // Nulls disqualify a key.
+  EXPECT_FALSE(*t.IsUniqueKey("name"));
+  // Duplicates disqualify a key.
+  Table d(Schema({{"k", DataType::kInt64}}));
+  (void)d.AppendRow({Value(int64_t{1})});
+  (void)d.AppendRow({Value(int64_t{1})});
+  EXPECT_FALSE(*d.IsUniqueKey("k"));
+  EXPECT_EQ(t.IsUniqueKey("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, IsForeignKeyInto) {
+  Table dim(Schema({{"k", DataType::kInt64}}));
+  (void)dim.AppendRow({Value(int64_t{1})});
+  (void)dim.AppendRow({Value(int64_t{2})});
+  Table fact(Schema({{"fk", DataType::kInt64}}));
+  (void)fact.AppendRow({Value(int64_t{2})});
+  (void)fact.AppendRow({Value::Null()});  // nulls are permitted in FKs
+  EXPECT_TRUE(*fact.IsForeignKeyInto("fk", dim, "k"));
+  (void)fact.AppendRow({Value(int64_t{9})});
+  EXPECT_FALSE(*fact.IsForeignKeyInto("fk", dim, "k"));
+}
+
+TEST(TableTest, PreviewTruncates) {
+  Table t = MakeTestTable();
+  std::string p = t.Preview(2);
+  EXPECT_NE(p.find("alpha"), std::string::npos);
+  EXPECT_NE(p.find("more rows"), std::string::npos);
+  EXPECT_EQ(p.find("gamma"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableBasics) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 0u);
+  EXPECT_TRUE(t.AppendRow({}).ok());  // zero-width row on zero-width table
+}
+
+}  // namespace
+}  // namespace emx

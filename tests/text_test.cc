@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/datagen/vocab.h"
+#include "src/text/numeric_similarity.h"
+#include "src/text/sequence_similarity.h"
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace emx {
+namespace {
+
+// --- tokenizers --------------------------------------------------------------
+
+TEST(TokenizerTest, Whitespace) {
+  WhitespaceTokenizer tok;
+  EXPECT_EQ(tok.Tokenize("  corn  fungicide guidelines "),
+            (std::vector<std::string>{"corn", "fungicide", "guidelines"}));
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("   ").empty());
+}
+
+TEST(TokenizerTest, WhitespaceDeduplicatesWhenUnique) {
+  WhitespaceTokenizer tok;
+  EXPECT_EQ(tok.Tokenize("a b a b c").size(), 3u);
+  tok.set_unique(false);
+  EXPECT_EQ(tok.Tokenize("a b a b c").size(), 5u);
+}
+
+TEST(TokenizerTest, Alphanumeric) {
+  AlphanumericTokenizer tok;
+  EXPECT_EQ(tok.Tokenize("IPM-based (corn)! 2008"),
+            (std::vector<std::string>{"IPM", "based", "corn", "2008"}));
+}
+
+TEST(TokenizerTest, QgramWithPadding) {
+  QgramTokenizer tok(3);
+  // "ab" padded to "##ab$$" -> windows of 3.
+  EXPECT_EQ(tok.Tokenize("ab"),
+            (std::vector<std::string>{"##a", "#ab", "ab$", "b$$"}));
+}
+
+TEST(TokenizerTest, QgramWithoutPadding) {
+  QgramTokenizer tok(3, /*pad=*/false);
+  EXPECT_EQ(tok.Tokenize("abcd"), (std::vector<std::string>{"abc", "bcd"}));
+  EXPECT_TRUE(tok.Tokenize("ab").empty());  // shorter than q
+}
+
+TEST(TokenizerTest, QgramOfEmptyString) {
+  QgramTokenizer tok(3);
+  // Padding alone: "##$$" has windows "##$", "#$$".
+  EXPECT_EQ(tok.Tokenize("").size(), 2u);
+}
+
+TEST(TokenizerTest, Delimiter) {
+  DelimiterTokenizer tok('|');
+  EXPECT_EQ(tok.Tokenize("SMITH, J | DOE, A |  | LEE, B"),
+            (std::vector<std::string>{"SMITH, J", "DOE, A", "LEE, B"}));
+}
+
+TEST(TokenizerTest, Names) {
+  EXPECT_EQ(WhitespaceTokenizer().name(), "ws");
+  EXPECT_EQ(QgramTokenizer(3).name(), "qgm_3");
+  EXPECT_EQ(AlphanumericTokenizer().name(), "alnum");
+}
+
+// --- sequence measures: known values -----------------------------------------
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+  // Prefix boost never hurts.
+  EXPECT_GE(JaroWinklerSimilarity("prefix_a", "prefix_b"),
+            JaroSimilarity("prefix_a", "prefix_b"));
+}
+
+TEST(NeedlemanWunschTest, Scores) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("abc", "abc"), 3.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("", "ab"), -1.0);  // two gaps
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("", ""), 1.0);
+}
+
+TEST(SmithWatermanTest, LocalAlignmentFindsSubstring) {
+  // "corn" inside a longer string aligns perfectly: score 4.
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("corn", "popcorn field"), 4.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("corn", "popcorn field"), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("abc", "xyz"), 0.0);
+}
+
+TEST(HammingTest, PositionalAgreement) {
+  EXPECT_DOUBLE_EQ(HammingSimilarity("abcd", "abcd"), 1.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("abcd", "abxd"), 0.75);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("ab", "abcd"), 0.5);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("", ""), 1.0);
+}
+
+TEST(ExactMatchTest, Basics) {
+  EXPECT_DOUBLE_EQ(ExactMatch("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactMatch("x", "X"), 0.0);
+  EXPECT_DOUBLE_EQ(ExactMatch("", ""), 1.0);
+}
+
+// --- sequence measures: properties over random strings -----------------------
+
+class SequencePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::pair<std::string, std::string> RandomPair() {
+    RandomEngine rng(GetParam());
+    auto make = [&rng] {
+      size_t len = rng.NextBelow(24);
+      std::string s;
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.NextBelow(6));  // small alphabet
+      }
+      return s;
+    };
+    return {make(), make()};
+  }
+};
+
+TEST_P(SequencePropertyTest, AllMeasuresInUnitRangeAndSymmetric) {
+  auto [a, b] = RandomPair();
+  using Fn = double (*)(std::string_view, std::string_view);
+  for (Fn fn : {static_cast<Fn>(&LevenshteinSimilarity),
+                static_cast<Fn>(&JaroSimilarity),
+                static_cast<Fn>(&NeedlemanWunschSimilarity),
+                static_cast<Fn>(&SmithWatermanSimilarity),
+                static_cast<Fn>(&HammingSimilarity)}) {
+    double ab = fn(a, b);
+    double ba = fn(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba) << "asymmetric on '" << a << "' vs '" << b << "'";
+  }
+}
+
+TEST_P(SequencePropertyTest, IdentityScoresOne) {
+  auto [a, b] = RandomPair();
+  (void)b;
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(a, a), 1.0);
+}
+
+TEST_P(SequencePropertyTest, LevenshteinTriangleInequality) {
+  RandomEngine rng(GetParam() ^ 0xABCD);
+  auto make = [&rng] {
+    size_t len = rng.NextBelow(12);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextBelow(4));
+    }
+    return s;
+  };
+  std::string a = make(), b = make(), c = make();
+  EXPECT_LE(LevenshteinDistance(a, c),
+            LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequencePropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+// --- set measures -------------------------------------------------------------
+
+std::vector<std::string> V(std::initializer_list<const char*> l) {
+  std::vector<std::string> out;
+  for (const char* s : l) out.push_back(s);
+  return out;
+}
+
+TEST(SetSimilarityTest, OverlapSize) {
+  EXPECT_EQ(OverlapSize(V({"a", "b", "c"}), V({"b", "c", "d"})), 2u);
+  EXPECT_EQ(OverlapSize(V({}), V({"a"})), 0u);
+  // Duplicates collapse to set semantics.
+  EXPECT_EQ(OverlapSize(V({"a", "a", "b"}), V({"a"})), 1u);
+}
+
+TEST(SetSimilarityTest, JaccardKnown) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(V({"a", "b"}), V({"b", "c"})), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(V({}), V({})), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(V({"a"}), V({})), 0.0);
+}
+
+TEST(SetSimilarityTest, OverlapCoefficientKnown) {
+  // The §7 short-title motivation: 2-token subset of a 4-token title.
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(V({"lab", "supplies"}),
+                                      V({"lab", "supplies", "and", "more"})),
+                   1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(V({}), V({})), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(V({"a"}), V({})), 0.0);
+}
+
+TEST(SetSimilarityTest, DiceAndCosineKnown) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity(V({"a", "b"}), V({"b", "c"})), 0.5);
+  EXPECT_NEAR(CosineSimilarity(V({"a", "b"}), V({"b", "c"})), 0.5, 1e-12);
+}
+
+TEST(SetSimilarityTest, MongeElkanIsSymmetrizedAndBounded) {
+  auto a = V({"swamp", "dodder"});
+  auto b = V({"swamp", "doder", "ecology"});
+  double s = MongeElkanSimilarity(a, b);
+  EXPECT_GT(s, 0.5);
+  EXPECT_LE(s, 1.0);
+  EXPECT_DOUBLE_EQ(s, MongeElkanSimilarity(b, a));
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity(V({}), V({})), 1.0);
+}
+
+TEST(SetSimilarityTest, TfIdfDownweightsCommonTokens) {
+  // "of" appears everywhere; "dodder" in one doc.
+  std::vector<std::vector<std::string>> corpus = {
+      V({"study", "of", "corn"}), V({"analysis", "of", "soy"}),
+      V({"ecology", "of", "dodder"}), V({"survey", "of", "wheat"})};
+  TfIdfScorer scorer(corpus);
+  // Sharing only the ubiquitous "of" scores lower than sharing "dodder".
+  double common = scorer.Similarity(V({"of", "corn"}), V({"of", "soy"}));
+  double rare = scorer.Similarity(V({"dodder", "corn"}), V({"dodder", "soy"}));
+  EXPECT_LT(common, rare);
+  EXPECT_DOUBLE_EQ(scorer.Similarity(V({"a"}), V({"a"})), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.Similarity(V({}), V({})), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.Similarity(V({"x"}), V({})), 0.0);
+}
+
+// Ordering property used by blocking: coefficient >= jaccard always (their
+// denominators satisfy min <= union).
+class SetOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetOrderingTest, CoefficientDominatesDiceDominatesJaccard) {
+  RandomEngine rng(GetParam());
+  auto make = [&rng] {
+    std::vector<std::string> v;
+    size_t n = rng.NextBelow(8);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(std::string(1, static_cast<char>('a' + rng.NextBelow(6))));
+    }
+    return v;
+  };
+  auto a = make(), b = make();
+  double jac = JaccardSimilarity(a, b);
+  double dice = DiceSimilarity(a, b);
+  double coeff = OverlapCoefficient(a, b);
+  double cos = CosineSimilarity(a, b);
+  EXPECT_LE(jac, dice + 1e-12);
+  EXPECT_LE(dice, coeff + 1e-12);
+  EXPECT_LE(cos, coeff + 1e-12);
+  EXPECT_GE(jac, 0.0);
+  EXPECT_LE(coeff, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOrderingTest,
+                         ::testing::Range<uint64_t>(100, 140));
+
+// --- numeric measures ----------------------------------------------------------
+
+TEST(NumericSimilarityTest, AbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(AbsoluteDifference(3.0, 5.5), 2.5);
+  EXPECT_DOUBLE_EQ(AbsoluteDifference(-1.0, 1.0), 2.0);
+}
+
+TEST(NumericSimilarityTest, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeDifference(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeSimilarity(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeSimilarity(0.0, 10.0), 0.0);
+}
+
+TEST(NumericSimilarityTest, ExactMatch) {
+  EXPECT_DOUBLE_EQ(NumericExactMatch(2.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericExactMatch(2.0, 2.000001), 0.0);
+}
+
+// --- synthetic lexicon ----------------------------------------------------------
+
+TEST(VocabTest, SyntheticTermsAreDistinctAcrossLexicon) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < vocab::kSyntheticLexiconSize; ++i) {
+    seen.insert(vocab::SyntheticTerm(i));
+  }
+  // Mixed-radix composition: 20*20*10 = 4000 distinct raw combinations, so
+  // the first 1600 indices never collide.
+  EXPECT_EQ(seen.size(), vocab::kSyntheticLexiconSize);
+}
+
+TEST(VocabTest, SyntheticTermIsPureFunctionOfIndex) {
+  EXPECT_EQ(vocab::SyntheticTerm(42), vocab::SyntheticTerm(42));
+  EXPECT_NE(vocab::SyntheticTerm(42), vocab::SyntheticTerm(43));
+}
+
+TEST(VocabTest, PersonNameFormats) {
+  PersonName p{"smith", "john", 'r'};
+  EXPECT_EQ(FormatUmetricsName(p), "SMITH, JOHN R");
+  EXPECT_EQ(FormatUsdaDirector(p), "Smith, J.R");
+}
+
+TEST(VocabTest, TitleCasing) {
+  std::vector<std::string> tokens = {"ecology", "of", "swamp", "dodder"};
+  EXPECT_EQ(ToUpperTitle(tokens), "ECOLOGY OF SWAMP DODDER");
+  EXPECT_EQ(ToMixedTitle(tokens), "Ecology of Swamp Dodder");
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,112 @@
+// Property sweep over generator seeds: every universe the generator can
+// produce must satisfy the structural invariants the pipeline depends on.
+// Small table sizes keep the 20-seed sweep fast.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/case_study.h"
+#include "src/datagen/iris_matcher.h"
+#include "src/datagen/preprocess.h"
+#include "src/eval/corleone_estimator.h"
+#include "src/rules/match_rules.h"
+
+namespace emx {
+namespace {
+
+UniverseOptions SmallOptions(uint64_t seed) {
+  UniverseOptions opt;
+  opt.seed = seed;
+  opt.num_umetrics = 200;
+  opt.num_usda = 340;
+  opt.num_extra = 40;
+  opt.m1_group = 40;
+  opt.m4_group = 55;
+  opt.title_group = 30;
+  opt.typo_group = 6;
+  opt.sibling_rows = 30;
+  opt.generic_umetrics = 8;
+  opt.generic_usda = 6;
+  opt.ncnrsp_rows = 3;
+  opt.extra_m1 = 6;
+  opt.extra_m4 = 5;
+  opt.employee_rows = 1200;
+  opt.vendor_rows = 150;
+  opt.subaward_rows = 80;
+  opt.object_code_rows = 30;
+  opt.org_unit_rows = 12;
+  return opt;
+}
+
+class UniversePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UniversePropertyTest, StructuralInvariantsHold) {
+  auto data = GenerateCaseStudy(SmallOptions(GetParam()));
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  // Table sizes are exactly as requested.
+  EXPECT_EQ(data->umetrics_award_agg.num_rows(), 200u);
+  EXPECT_EQ(data->usda.num_rows(), 340u);
+  EXPECT_EQ(data->extra_umetrics_agg.num_rows(), 40u);
+
+  // Keys unique; gold/ambiguous disjoint; indices in range.
+  EXPECT_TRUE(*data->umetrics_award_agg.IsUniqueKey("UniqueAwardNumber"));
+  EXPECT_TRUE(*data->usda.IsUniqueKey("AccessionNumber"));
+  EXPECT_TRUE(CandidateSet::Intersect(data->gold, data->ambiguous).empty());
+  for (const RecordPair& p : data->gold) {
+    ASSERT_LT(p.left, 200u);
+    ASSERT_LT(p.right, 340u);
+  }
+
+  // Group accounting.
+  EXPECT_EQ(data->m1_pairs + data->m4_pairs + data->title_pairs +
+                data->typo_pairs,
+            data->gold.size());
+  EXPECT_GE(data->gold.size(), 131u);  // at least one pair per group row
+  EXPECT_EQ(data->gold_extra.size(), 11u);
+}
+
+TEST_P(UniversePropertyTest, SureRulesStaySound) {
+  auto data = GenerateCaseStudy(SmallOptions(GetParam()));
+  ASSERT_TRUE(data.ok());
+  auto tables = PreprocessCaseStudy(*data);
+  ASSERT_TRUE(tables.ok());
+
+  // Positive rules must fire ONLY on gold pairs (no accidental id
+  // collisions), on every seed.
+  auto sure = ApplyRulesCartesian(PositiveRulesV2(), tables->umetrics,
+                                  tables->usda);
+  ASSERT_TRUE(sure.ok());
+  for (const RecordPair& p : *sure) {
+    ASSERT_TRUE(data->gold.Contains(p))
+        << "seed " << GetParam() << ": rule fired on non-gold (" << p.left
+        << "," << p.right << ")";
+  }
+  // And they must recover at least the m1+m4 group pairs.
+  EXPECT_GE(sure->size(), 95u);
+
+  // IRIS stays perfect-precision on every seed.
+  auto iris = RunIrisMatcher(tables->umetrics, tables->usda);
+  ASSERT_TRUE(iris.ok());
+  GoldMetrics m = ComputeGoldMetrics(*iris, data->gold, data->ambiguous);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+}
+
+TEST_P(UniversePropertyTest, NegativeRulesNeverTouchSureMatches) {
+  auto data = GenerateCaseStudy(SmallOptions(GetParam()));
+  ASSERT_TRUE(data.ok());
+  auto tables = PreprocessCaseStudy(*data);
+  ASSERT_TRUE(tables.ok());
+  auto sure = ApplyRulesCartesian(PositiveRulesV2(), tables->umetrics,
+                                  tables->usda);
+  ASSERT_TRUE(sure.ok());
+  auto kept = FilterWithNegativeRules(NegativeRules(), tables->umetrics,
+                                      tables->usda, *sure, nullptr);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), sure->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniversePropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace emx

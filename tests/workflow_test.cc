@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "src/block/attr_equivalence_blocker.h"
+#include "src/block/overlap_blocker.h"
+#include "src/ml/decision_tree.h"
+#include "src/rules/match_rules.h"
+#include "src/rules/number_pattern.h"
+#include "src/table/csv.h"
+#include "src/workflow/em_workflow.h"
+#include "src/workflow/match_set.h"
+
+namespace emx {
+namespace {
+
+CandidateSet CS(std::initializer_list<RecordPair> pairs) {
+  return CandidateSet(std::vector<RecordPair>(pairs));
+}
+
+// --- MatchSet --------------------------------------------------------------------
+
+TEST(MatchSetTest, AddAndProvenance) {
+  MatchSet m;
+  m.Add(CS({{0, 0}, {1, 1}}), "sure_rule");
+  m.Add(CS({{2, 2}}), "ml");
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.ProvenanceOf({0, 0}), "sure_rule");
+  EXPECT_EQ(m.ProvenanceOf({2, 2}), "ml");
+  EXPECT_EQ(m.ProvenanceOf({9, 9}), "");
+}
+
+TEST(MatchSetTest, FirstWriterWinsByDefault) {
+  MatchSet m;
+  m.Add(CS({{0, 0}}), "old");
+  m.Add(CS({{0, 0}}), "new");
+  EXPECT_EQ(m.ProvenanceOf({0, 0}), "old");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MatchSetTest, OverwriteImplementsNewerWorkflowWins) {
+  MatchSet m;
+  m.Add(CS({{0, 0}}), "old");
+  m.Add(CS({{0, 0}}), "patch", /*overwrite=*/true);
+  EXPECT_EQ(m.ProvenanceOf({0, 0}), "patch");
+}
+
+TEST(MatchSetTest, RemoveAndCounts) {
+  MatchSet m;
+  m.Add(CS({{0, 0}, {1, 1}}), "a");
+  m.Add(CS({{2, 2}}), "b");
+  m.Remove(CS({{1, 1}}));
+  EXPECT_EQ(m.size(), 2u);
+  auto counts = m.CountsByProvenance();
+  EXPECT_EQ(counts["a"], 1u);
+  EXPECT_EQ(counts["b"], 1u);
+  CandidateSet as_set = m.AsCandidateSet();
+  EXPECT_TRUE(as_set.Contains({0, 0}));
+  EXPECT_FALSE(as_set.Contains({1, 1}));
+}
+
+// --- EmWorkflow -------------------------------------------------------------------
+
+Table WfLeft() {
+  return *ReadCsvString(
+      "AwardNumber,Title\n"
+      "10.1 F-100,alpha beta gamma delta\n"      // sure match to row 0
+      "10.2 MSN000111,epsilon zeta eta theta\n"  // ML-findable to row 1
+      "10.3 WIS00002,iota kappa lambda mu\n"     // sibling bait vs row 3
+      "10.4 MSN000009,loner title entirely\n");
+}
+
+Table WfRight() {
+  return *ReadCsvString(
+      "AwardNumber,ProjectNumber,Title\n"
+      "F-100,WIS99999,alpha beta gamma delta\n"
+      ",WIS77777,epsilon zeta eta theta\n"
+      ",WIS66666,unrelated words here now\n"
+      ",WIS00005,iota kappa lambda mu\n");  // comparable-mismatch with left 2
+}
+
+// Installs a matcher trained to call high title-Jaccard a match.
+void InstallTitleMatcher(EmWorkflow& wf) {
+  FeatureSet features;
+  features.features.push_back(MakeJaccardFeature("Title", "Title"));
+  // Train on a tiny synthetic set: jaccard 1 -> match, 0 -> non-match.
+  Dataset d;
+  d.feature_names = features.names();
+  d.x = {{1.0}, {0.9}, {0.05}, {0.0}};
+  d.y = {1, 1, 0, 0};
+  FeatureMatrix m;
+  m.feature_names = d.feature_names;
+  m.rows = d.x;
+  MeanImputer imputer;
+  imputer.Fit(m);
+  auto tree = std::make_shared<DecisionTreeMatcher>();
+  ASSERT_TRUE(tree->Fit(d).ok());
+  wf.SetMatcher(std::move(tree), std::move(features), std::move(imputer));
+}
+
+EmWorkflow BuildToyWorkflow(bool with_negative_rules) {
+  EmWorkflow wf;
+  wf.AddPositiveRule(MakeM1AwardNumberRule("AwardNumber", "AwardNumber"));
+  OverlapBlockerOptions opts;
+  opts.left_attr = "Title";
+  opts.right_attr = "Title";
+  wf.AddBlocker(std::make_shared<OverlapBlocker>(opts, 3));
+  if (with_negative_rules) {
+    auto suffix = [](const std::string& s) { return AwardNumberSuffix(s); };
+    wf.AddNegativeRule(MakeComparableMismatchRule(
+        "neg", "AwardNumber", "ProjectNumber", suffix, nullptr));
+  }
+  return wf;
+}
+
+TEST(EmWorkflowTest, StagesComposeEndToEnd) {
+  Table l = WfLeft(), r = WfRight();
+  EmWorkflow wf = BuildToyWorkflow(/*with_negative_rules=*/true);
+  InstallTitleMatcher(wf);
+
+  auto run = wf.Run(l, r);
+  ASSERT_TRUE(run.ok());
+  // Sure match via M1.
+  EXPECT_TRUE(run->sure_matches.Contains({0, 0}));
+  EXPECT_EQ(run->sure_matches.size(), 1u);
+  // ML finds the identical-title pair (1,1); the sibling pair (2,3) is
+  // predicted but flipped by the negative rule (WIS00002 vs WIS00005).
+  EXPECT_TRUE(run->ml_predicted.Contains({1, 1}));
+  EXPECT_TRUE(run->ml_predicted.Contains({2, 3}));
+  EXPECT_TRUE(run->flipped.Contains({2, 3}));
+  EXPECT_TRUE(run->after_rules.Contains({1, 1}));
+  EXPECT_FALSE(run->after_rules.Contains({2, 3}));
+  // Final = sure ∪ surviving ML.
+  EXPECT_TRUE(run->final_matches.Contains({0, 0}));
+  EXPECT_TRUE(run->final_matches.Contains({1, 1}));
+  EXPECT_EQ(run->final_matches.size(), 2u);
+  // Provenance.
+  EXPECT_EQ(run->provenance.ProvenanceOf({0, 0}), "sure_rule");
+  EXPECT_EQ(run->provenance.ProvenanceOf({1, 1}), "ml");
+}
+
+TEST(EmWorkflowTest, SureMatchesAreNeverFlipped) {
+  // A sure-rule pair that ALSO trips the negative rule stays a match:
+  // Figure 10 applies negative rules to R1/R2 only.
+  Table l = *ReadCsvString("AwardNumber,Title\n10.1 WIS00001,t t t\n");
+  Table r = *ReadCsvString(
+      "AwardNumber,ProjectNumber,Title\nWIS00001,WIS00002,t t t\n");
+  EmWorkflow wf;
+  wf.AddPositiveRule(MakeM1AwardNumberRule("AwardNumber", "AwardNumber"));
+  auto suffix = [](const std::string& s) { return AwardNumberSuffix(s); };
+  wf.AddNegativeRule(MakeComparableMismatchRule(
+      "neg", "AwardNumber", "ProjectNumber", suffix, nullptr));
+  auto run = wf.Run(l, r);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->final_matches.Contains({0, 0}));
+}
+
+TEST(EmWorkflowTest, RuleOnlyWorkflowNeedsNoMatcher) {
+  Table l = WfLeft(), r = WfRight();
+  EmWorkflow wf;
+  wf.AddPositiveRule(MakeM1AwardNumberRule("AwardNumber", "AwardNumber"));
+  auto run = wf.Run(l, r);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->final_matches.size(), 1u);
+  EXPECT_TRUE(run->ml_predicted.empty());
+}
+
+TEST(EmWorkflowTest, EmptyWorkflowProducesNothing) {
+  Table l = WfLeft(), r = WfRight();
+  EmWorkflow wf;
+  auto run = wf.Run(l, r);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->final_matches.empty());
+  EXPECT_TRUE(run->candidates.empty());
+}
+
+TEST(EmWorkflowTest, DescribeListsEveryStage) {
+  EmWorkflow wf = BuildToyWorkflow(/*with_negative_rules=*/true);
+  InstallTitleMatcher(wf);
+  std::string desc = wf.Describe();
+  EXPECT_NE(desc.find("M1_award_number"), std::string::npos);
+  EXPECT_NE(desc.find("overlap(Title"), std::string::npos);
+  EXPECT_NE(desc.find("decision_tree"), std::string::npos);
+  EXPECT_NE(desc.find("neg"), std::string::npos);
+}
+
+TEST(EmWorkflowTest, DescribeWithoutMatcher) {
+  EmWorkflow wf;
+  EXPECT_NE(wf.Describe().find("matcher: (none)"), std::string::npos);
+}
+
+TEST(MergeBranchesTest, NewerSureRuleOverridesOlderMl) {
+  WorkflowRunResult old_run, patch_run;
+  old_run.after_rules = CS({{0, 0}, {1, 1}});
+  patch_run.sure_matches = CS({{0, 0}});
+  MatchSet merged = MergeBranches({&old_run, &patch_run});
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.ProvenanceOf({0, 0}), "sure_rule");
+  EXPECT_EQ(merged.ProvenanceOf({1, 1}), "ml");
+}
+
+}  // namespace
+}  // namespace emx
