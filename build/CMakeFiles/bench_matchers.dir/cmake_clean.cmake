@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matchers.dir/bench/bench_matchers.cc.o"
+  "CMakeFiles/bench_matchers.dir/bench/bench_matchers.cc.o.d"
+  "bench/bench_matchers"
+  "bench/bench_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_similarity.dir/bench/bench_similarity.cc.o"
+  "CMakeFiles/bench_similarity.dir/bench/bench_similarity.cc.o.d"
+  "bench/bench_similarity"
+  "bench/bench_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_features.dir/bench/exp_ablation_features.cc.o"
+  "CMakeFiles/exp_ablation_features.dir/bench/exp_ablation_features.cc.o.d"
+  "bench/exp_ablation_features"
+  "bench/exp_ablation_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_tables.dir/bench/exp_fig2_tables.cc.o"
+  "CMakeFiles/exp_fig2_tables.dir/bench/exp_fig2_tables.cc.o.d"
+  "bench/exp_fig2_tables"
+  "bench/exp_fig2_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_label_budget.dir/bench/exp_label_budget.cc.o"
+  "CMakeFiles/exp_label_budget.dir/bench/exp_label_budget.cc.o.d"
+  "bench/exp_label_budget"
+  "bench/exp_label_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_label_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

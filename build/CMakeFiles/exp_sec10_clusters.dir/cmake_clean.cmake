@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec10_clusters.dir/bench/exp_sec10_clusters.cc.o"
+  "CMakeFiles/exp_sec10_clusters.dir/bench/exp_sec10_clusters.cc.o.d"
+  "bench/exp_sec10_clusters"
+  "bench/exp_sec10_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec10_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec10_workflow_v2.dir/bench/exp_sec10_workflow_v2.cc.o"
+  "CMakeFiles/exp_sec10_workflow_v2.dir/bench/exp_sec10_workflow_v2.cc.o.d"
+  "bench/exp_sec10_workflow_v2"
+  "bench/exp_sec10_workflow_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec10_workflow_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

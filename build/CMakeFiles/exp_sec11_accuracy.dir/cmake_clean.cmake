@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec11_accuracy.dir/bench/exp_sec11_accuracy.cc.o"
+  "CMakeFiles/exp_sec11_accuracy.dir/bench/exp_sec11_accuracy.cc.o.d"
+  "bench/exp_sec11_accuracy"
+  "bench/exp_sec11_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec11_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

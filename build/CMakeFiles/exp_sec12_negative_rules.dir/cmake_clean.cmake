@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec12_negative_rules.dir/bench/exp_sec12_negative_rules.cc.o"
+  "CMakeFiles/exp_sec12_negative_rules.dir/bench/exp_sec12_negative_rules.cc.o.d"
+  "bench/exp_sec12_negative_rules"
+  "bench/exp_sec12_negative_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec12_negative_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

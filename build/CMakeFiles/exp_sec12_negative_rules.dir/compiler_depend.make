@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_sec12_negative_rules.
+# This may be replaced when dependencies are built.

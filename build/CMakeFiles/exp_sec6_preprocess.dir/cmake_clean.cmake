@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec6_preprocess.dir/bench/exp_sec6_preprocess.cc.o"
+  "CMakeFiles/exp_sec6_preprocess.dir/bench/exp_sec6_preprocess.cc.o.d"
+  "bench/exp_sec6_preprocess"
+  "bench/exp_sec6_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec6_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

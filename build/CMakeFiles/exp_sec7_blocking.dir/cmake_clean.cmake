@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec7_blocking.dir/bench/exp_sec7_blocking.cc.o"
+  "CMakeFiles/exp_sec7_blocking.dir/bench/exp_sec7_blocking.cc.o.d"
+  "bench/exp_sec7_blocking"
+  "bench/exp_sec7_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec7_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

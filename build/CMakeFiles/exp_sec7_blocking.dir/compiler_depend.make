@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_sec7_blocking.
+# This may be replaced when dependencies are built.

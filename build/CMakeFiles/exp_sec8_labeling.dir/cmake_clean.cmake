@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec8_labeling.dir/bench/exp_sec8_labeling.cc.o"
+  "CMakeFiles/exp_sec8_labeling.dir/bench/exp_sec8_labeling.cc.o.d"
+  "bench/exp_sec8_labeling"
+  "bench/exp_sec8_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec8_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec9_matchers.dir/bench/exp_sec9_matchers.cc.o"
+  "CMakeFiles/exp_sec9_matchers.dir/bench/exp_sec9_matchers.cc.o.d"
+  "bench/exp_sec9_matchers"
+  "bench/exp_sec9_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec9_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec9_workflow_v1.dir/bench/exp_sec9_workflow_v1.cc.o"
+  "CMakeFiles/exp_sec9_workflow_v1.dir/bench/exp_sec9_workflow_v1.cc.o.d"
+  "bench/exp_sec9_workflow_v1"
+  "bench/exp_sec9_workflow_v1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec9_workflow_v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_sec9_workflow_v1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_monitoring.dir/accuracy_monitoring.cpp.o"
+  "CMakeFiles/accuracy_monitoring.dir/accuracy_monitoring.cpp.o.d"
+  "accuracy_monitoring"
+  "accuracy_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

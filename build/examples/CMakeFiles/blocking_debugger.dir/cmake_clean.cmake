@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_debugger.dir/blocking_debugger.cpp.o"
+  "CMakeFiles/blocking_debugger.dir/blocking_debugger.cpp.o.d"
+  "blocking_debugger"
+  "blocking_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

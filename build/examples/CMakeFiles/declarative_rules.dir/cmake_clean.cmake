@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declarative_rules.dir/declarative_rules.cpp.o"
+  "CMakeFiles/declarative_rules.dir/declarative_rules.cpp.o.d"
+  "declarative_rules"
+  "declarative_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declarative_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_challenge_data.dir/export_challenge_data.cpp.o"
+  "CMakeFiles/export_challenge_data.dir/export_challenge_data.cpp.o.d"
+  "export_challenge_data"
+  "export_challenge_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_challenge_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

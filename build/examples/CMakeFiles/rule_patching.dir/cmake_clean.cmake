@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_patching.dir/rule_patching.cpp.o"
+  "CMakeFiles/rule_patching.dir/rule_patching.cpp.o.d"
+  "rule_patching"
+  "rule_patching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_patching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

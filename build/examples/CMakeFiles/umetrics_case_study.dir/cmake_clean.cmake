@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umetrics_case_study.dir/umetrics_case_study.cpp.o"
+  "CMakeFiles/umetrics_case_study.dir/umetrics_case_study.cpp.o.d"
+  "umetrics_case_study"
+  "umetrics_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umetrics_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("table")
+subdirs("text")
+subdirs("block")
+subdirs("feature")
+subdirs("labeling")
+subdirs("rules")
+subdirs("ml")
+subdirs("workflow")
+subdirs("eval")
+subdirs("datagen")
+subdirs("cli")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/attr_equivalence_blocker.cc" "src/block/CMakeFiles/emx_block.dir/attr_equivalence_blocker.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/attr_equivalence_blocker.cc.o.d"
+  "/root/repo/src/block/blocker.cc" "src/block/CMakeFiles/emx_block.dir/blocker.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/blocker.cc.o.d"
+  "/root/repo/src/block/blocking_debugger.cc" "src/block/CMakeFiles/emx_block.dir/blocking_debugger.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/blocking_debugger.cc.o.d"
+  "/root/repo/src/block/candidate_set.cc" "src/block/CMakeFiles/emx_block.dir/candidate_set.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/candidate_set.cc.o.d"
+  "/root/repo/src/block/overlap_blocker.cc" "src/block/CMakeFiles/emx_block.dir/overlap_blocker.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/overlap_blocker.cc.o.d"
+  "/root/repo/src/block/rule_blocker.cc" "src/block/CMakeFiles/emx_block.dir/rule_blocker.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/rule_blocker.cc.o.d"
+  "/root/repo/src/block/similarity_join.cc" "src/block/CMakeFiles/emx_block.dir/similarity_join.cc.o" "gcc" "src/block/CMakeFiles/emx_block.dir/similarity_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/emx_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_block.dir/attr_equivalence_blocker.cc.o"
+  "CMakeFiles/emx_block.dir/attr_equivalence_blocker.cc.o.d"
+  "CMakeFiles/emx_block.dir/blocker.cc.o"
+  "CMakeFiles/emx_block.dir/blocker.cc.o.d"
+  "CMakeFiles/emx_block.dir/blocking_debugger.cc.o"
+  "CMakeFiles/emx_block.dir/blocking_debugger.cc.o.d"
+  "CMakeFiles/emx_block.dir/candidate_set.cc.o"
+  "CMakeFiles/emx_block.dir/candidate_set.cc.o.d"
+  "CMakeFiles/emx_block.dir/overlap_blocker.cc.o"
+  "CMakeFiles/emx_block.dir/overlap_blocker.cc.o.d"
+  "CMakeFiles/emx_block.dir/rule_blocker.cc.o"
+  "CMakeFiles/emx_block.dir/rule_blocker.cc.o.d"
+  "CMakeFiles/emx_block.dir/similarity_join.cc.o"
+  "CMakeFiles/emx_block.dir/similarity_join.cc.o.d"
+  "libemx_block.a"
+  "libemx_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/emx"
+  "../../tools/emx.pdb"
+  "CMakeFiles/emx.dir/emx_main.cc.o"
+  "CMakeFiles/emx.dir/emx_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_cli.dir/cli.cc.o"
+  "CMakeFiles/emx_cli.dir/cli.cc.o.d"
+  "libemx_cli.a"
+  "libemx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_core.dir/logging.cc.o"
+  "CMakeFiles/emx_core.dir/logging.cc.o.d"
+  "CMakeFiles/emx_core.dir/random.cc.o"
+  "CMakeFiles/emx_core.dir/random.cc.o.d"
+  "CMakeFiles/emx_core.dir/status.cc.o"
+  "CMakeFiles/emx_core.dir/status.cc.o.d"
+  "CMakeFiles/emx_core.dir/strings.cc.o"
+  "CMakeFiles/emx_core.dir/strings.cc.o.d"
+  "libemx_core.a"
+  "libemx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_datagen.dir/case_study.cc.o"
+  "CMakeFiles/emx_datagen.dir/case_study.cc.o.d"
+  "CMakeFiles/emx_datagen.dir/iris_matcher.cc.o"
+  "CMakeFiles/emx_datagen.dir/iris_matcher.cc.o.d"
+  "CMakeFiles/emx_datagen.dir/preprocess.cc.o"
+  "CMakeFiles/emx_datagen.dir/preprocess.cc.o.d"
+  "CMakeFiles/emx_datagen.dir/universe.cc.o"
+  "CMakeFiles/emx_datagen.dir/universe.cc.o.d"
+  "CMakeFiles/emx_datagen.dir/vocab.cc.o"
+  "CMakeFiles/emx_datagen.dir/vocab.cc.o.d"
+  "libemx_datagen.a"
+  "libemx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_eval.dir/accuracy_monitor.cc.o"
+  "CMakeFiles/emx_eval.dir/accuracy_monitor.cc.o.d"
+  "CMakeFiles/emx_eval.dir/corleone_estimator.cc.o"
+  "CMakeFiles/emx_eval.dir/corleone_estimator.cc.o.d"
+  "libemx_eval.a"
+  "libemx_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

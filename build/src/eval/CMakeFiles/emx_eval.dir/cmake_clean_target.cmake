@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemx_eval.a"
+)

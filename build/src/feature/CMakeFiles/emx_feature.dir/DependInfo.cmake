@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/attribute_type.cc" "src/feature/CMakeFiles/emx_feature.dir/attribute_type.cc.o" "gcc" "src/feature/CMakeFiles/emx_feature.dir/attribute_type.cc.o.d"
+  "/root/repo/src/feature/feature.cc" "src/feature/CMakeFiles/emx_feature.dir/feature.cc.o" "gcc" "src/feature/CMakeFiles/emx_feature.dir/feature.cc.o.d"
+  "/root/repo/src/feature/feature_gen.cc" "src/feature/CMakeFiles/emx_feature.dir/feature_gen.cc.o" "gcc" "src/feature/CMakeFiles/emx_feature.dir/feature_gen.cc.o.d"
+  "/root/repo/src/feature/vectorizer.cc" "src/feature/CMakeFiles/emx_feature.dir/vectorizer.cc.o" "gcc" "src/feature/CMakeFiles/emx_feature.dir/vectorizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/emx_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/emx_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_feature.dir/attribute_type.cc.o"
+  "CMakeFiles/emx_feature.dir/attribute_type.cc.o.d"
+  "CMakeFiles/emx_feature.dir/feature.cc.o"
+  "CMakeFiles/emx_feature.dir/feature.cc.o.d"
+  "CMakeFiles/emx_feature.dir/feature_gen.cc.o"
+  "CMakeFiles/emx_feature.dir/feature_gen.cc.o.d"
+  "CMakeFiles/emx_feature.dir/vectorizer.cc.o"
+  "CMakeFiles/emx_feature.dir/vectorizer.cc.o.d"
+  "libemx_feature.a"
+  "libemx_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/label.cc" "src/labeling/CMakeFiles/emx_labeling.dir/label.cc.o" "gcc" "src/labeling/CMakeFiles/emx_labeling.dir/label.cc.o.d"
+  "/root/repo/src/labeling/label_debugger.cc" "src/labeling/CMakeFiles/emx_labeling.dir/label_debugger.cc.o" "gcc" "src/labeling/CMakeFiles/emx_labeling.dir/label_debugger.cc.o.d"
+  "/root/repo/src/labeling/oracle.cc" "src/labeling/CMakeFiles/emx_labeling.dir/oracle.cc.o" "gcc" "src/labeling/CMakeFiles/emx_labeling.dir/oracle.cc.o.d"
+  "/root/repo/src/labeling/sampler.cc" "src/labeling/CMakeFiles/emx_labeling.dir/sampler.cc.o" "gcc" "src/labeling/CMakeFiles/emx_labeling.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/emx_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/emx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/emx_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emx_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

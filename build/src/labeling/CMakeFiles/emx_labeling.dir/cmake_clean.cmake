@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_labeling.dir/label.cc.o"
+  "CMakeFiles/emx_labeling.dir/label.cc.o.d"
+  "CMakeFiles/emx_labeling.dir/label_debugger.cc.o"
+  "CMakeFiles/emx_labeling.dir/label_debugger.cc.o.d"
+  "CMakeFiles/emx_labeling.dir/oracle.cc.o"
+  "CMakeFiles/emx_labeling.dir/oracle.cc.o.d"
+  "CMakeFiles/emx_labeling.dir/sampler.cc.o"
+  "CMakeFiles/emx_labeling.dir/sampler.cc.o.d"
+  "libemx_labeling.a"
+  "libemx_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/emx_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/emx_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/emx_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/emx_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/emx_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/emx_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/matcher.cc" "src/ml/CMakeFiles/emx_ml.dir/matcher.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/matcher.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/emx_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/emx_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/emx_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/threshold.cc" "src/ml/CMakeFiles/emx_ml.dir/threshold.cc.o" "gcc" "src/ml/CMakeFiles/emx_ml.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/emx_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/emx_ml.dir/dataset.cc.o"
+  "CMakeFiles/emx_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/emx_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/emx_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/emx_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/emx_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/emx_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/emx_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/emx_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/emx_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/emx_ml.dir/matcher.cc.o"
+  "CMakeFiles/emx_ml.dir/matcher.cc.o.d"
+  "CMakeFiles/emx_ml.dir/metrics.cc.o"
+  "CMakeFiles/emx_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/emx_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/emx_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/emx_ml.dir/random_forest.cc.o"
+  "CMakeFiles/emx_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/emx_ml.dir/threshold.cc.o"
+  "CMakeFiles/emx_ml.dir/threshold.cc.o.d"
+  "libemx_ml.a"
+  "libemx_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

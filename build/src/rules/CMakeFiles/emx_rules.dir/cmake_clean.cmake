@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_rules.dir/feature_rules.cc.o"
+  "CMakeFiles/emx_rules.dir/feature_rules.cc.o.d"
+  "CMakeFiles/emx_rules.dir/match_rules.cc.o"
+  "CMakeFiles/emx_rules.dir/match_rules.cc.o.d"
+  "CMakeFiles/emx_rules.dir/number_pattern.cc.o"
+  "CMakeFiles/emx_rules.dir/number_pattern.cc.o.d"
+  "libemx_rules.a"
+  "libemx_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

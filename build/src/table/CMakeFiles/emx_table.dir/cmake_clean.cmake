@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_table.dir/csv.cc.o"
+  "CMakeFiles/emx_table.dir/csv.cc.o.d"
+  "CMakeFiles/emx_table.dir/profile.cc.o"
+  "CMakeFiles/emx_table.dir/profile.cc.o.d"
+  "CMakeFiles/emx_table.dir/schema.cc.o"
+  "CMakeFiles/emx_table.dir/schema.cc.o.d"
+  "CMakeFiles/emx_table.dir/table.cc.o"
+  "CMakeFiles/emx_table.dir/table.cc.o.d"
+  "CMakeFiles/emx_table.dir/table_ops.cc.o"
+  "CMakeFiles/emx_table.dir/table_ops.cc.o.d"
+  "CMakeFiles/emx_table.dir/value.cc.o"
+  "CMakeFiles/emx_table.dir/value.cc.o.d"
+  "libemx_table.a"
+  "libemx_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

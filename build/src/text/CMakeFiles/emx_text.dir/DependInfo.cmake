@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/numeric_similarity.cc" "src/text/CMakeFiles/emx_text.dir/numeric_similarity.cc.o" "gcc" "src/text/CMakeFiles/emx_text.dir/numeric_similarity.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/text/CMakeFiles/emx_text.dir/phonetic.cc.o" "gcc" "src/text/CMakeFiles/emx_text.dir/phonetic.cc.o.d"
+  "/root/repo/src/text/sequence_similarity.cc" "src/text/CMakeFiles/emx_text.dir/sequence_similarity.cc.o" "gcc" "src/text/CMakeFiles/emx_text.dir/sequence_similarity.cc.o.d"
+  "/root/repo/src/text/set_similarity.cc" "src/text/CMakeFiles/emx_text.dir/set_similarity.cc.o" "gcc" "src/text/CMakeFiles/emx_text.dir/set_similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/emx_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/emx_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_text.dir/numeric_similarity.cc.o"
+  "CMakeFiles/emx_text.dir/numeric_similarity.cc.o.d"
+  "CMakeFiles/emx_text.dir/phonetic.cc.o"
+  "CMakeFiles/emx_text.dir/phonetic.cc.o.d"
+  "CMakeFiles/emx_text.dir/sequence_similarity.cc.o"
+  "CMakeFiles/emx_text.dir/sequence_similarity.cc.o.d"
+  "CMakeFiles/emx_text.dir/set_similarity.cc.o"
+  "CMakeFiles/emx_text.dir/set_similarity.cc.o.d"
+  "CMakeFiles/emx_text.dir/tokenizer.cc.o"
+  "CMakeFiles/emx_text.dir/tokenizer.cc.o.d"
+  "libemx_text.a"
+  "libemx_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_workflow.dir/cluster_analysis.cc.o"
+  "CMakeFiles/emx_workflow.dir/cluster_analysis.cc.o.d"
+  "CMakeFiles/emx_workflow.dir/em_workflow.cc.o"
+  "CMakeFiles/emx_workflow.dir/em_workflow.cc.o.d"
+  "CMakeFiles/emx_workflow.dir/match_set.cc.o"
+  "CMakeFiles/emx_workflow.dir/match_set.cc.o.d"
+  "libemx_workflow.a"
+  "libemx_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

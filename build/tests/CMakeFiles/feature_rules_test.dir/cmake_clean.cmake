@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_rules_test.dir/feature_rules_test.cc.o"
+  "CMakeFiles/feature_rules_test.dir/feature_rules_test.cc.o.d"
+  "feature_rules_test"
+  "feature_rules_test.pdb"
+  "feature_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

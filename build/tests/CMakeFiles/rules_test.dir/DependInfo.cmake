@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/rules_test.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/rules_test.dir/rules_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/emx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/emx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/emx_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/emx_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/emx_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/emx_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/emx_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/emx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/emx_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/emx_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/emx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_property_test.dir/universe_property_test.cc.o"
+  "CMakeFiles/universe_property_test.dir/universe_property_test.cc.o.d"
+  "universe_property_test"
+  "universe_property_test.pdb"
+  "universe_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
