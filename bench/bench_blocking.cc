@@ -9,6 +9,7 @@
 #include "src/block/overlap_blocker.h"
 #include "src/block/rule_blocker.h"
 #include "src/block/similarity_join.h"
+#include "src/core/executor.h"
 #include "src/datagen/case_study.h"
 #include "src/datagen/preprocess.h"
 #include "src/text/set_similarity.h"
@@ -101,9 +102,10 @@ void BM_JaccardJoin(benchmark::State& state) {
   JaccardJoinBlocker join(opts, threshold);
   size_t verified = 0;
   for (auto _ : state) {
-    auto c = join.Block(f.umetrics, f.usda);
+    BlockStats stats;
+    auto c = join.BlockWithStats(f.umetrics, f.usda, &stats);
     benchmark::DoNotOptimize(c->size());
-    verified = join.last_verified_count();
+    verified = stats.verified;
   }
   state.counters["verified_pairs"] =
       static_cast<double>(verified);
@@ -111,6 +113,38 @@ void BM_JaccardJoin(benchmark::State& state) {
       f.umetrics.num_rows() * f.usda.num_rows());
 }
 BENCHMARK(BM_JaccardJoin)->Arg(5)->Arg(7)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep over the §7 blockers: the same blocking runs pinned
+// to 1/2/4/8-thread executors. Outputs are identical across the sweep (the
+// executor's determinism guarantee); only wall-clock should move.
+void BM_OverlapBlockerThreads(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  Executor pool(static_cast<size_t>(state.range(0)));
+  ExecutorContext ctx{&pool};
+  auto blocker = MakeTitleOverlapBlocker(3);
+  for (auto _ : state) {
+    auto c = blocker->Block(f.umetrics, f.usda, ctx);
+    benchmark::DoNotOptimize(c->size());
+  }
+}
+BENCHMARK(BM_OverlapBlockerThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JaccardJoinThreads(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  Executor pool(static_cast<size_t>(state.range(0)));
+  ExecutorContext ctx{&pool};
+  OverlapBlockerOptions opts;
+  opts.left_attr = "AwardTitle";
+  opts.right_attr = "AwardTitle";
+  JaccardJoinBlocker join(opts, 0.7);
+  for (auto _ : state) {
+    auto c = join.Block(f.umetrics, f.usda, ctx);
+    benchmark::DoNotOptimize(c->size());
+  }
+}
+BENCHMARK(BM_JaccardJoinThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SortedNeighborhood(benchmark::State& state) {

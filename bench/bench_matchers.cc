@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/core/executor.h"
 #include "src/datagen/case_study.h"
 #include "src/datagen/preprocess.h"
 #include "src/ml/decision_tree.h"
@@ -89,6 +90,37 @@ void BM_PredictCandidateSet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictCandidateSet)->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep: random-forest training and bulk prediction pinned to
+// 1/2/4/8-thread executors. The fitted ensemble and the predictions are
+// bit-identical across the sweep; only wall-clock should move.
+void BM_FitRandomForestThreads(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  Executor pool(static_cast<size_t>(state.range(0)));
+  ExecutorContext ctx{&pool};
+  for (auto _ : state) {
+    RandomForestMatcher forest;
+    forest.set_executor(ctx);
+    (void)forest.Fit(f.train);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_FitRandomForestThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PredictRandomForestThreads(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  Executor pool(static_cast<size_t>(state.range(0)));
+  ExecutorContext ctx{&pool};
+  RandomForestMatcher forest;
+  forest.set_executor(ctx);
+  (void)forest.Fit(f.train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(f.predict_rows));
+  }
+}
+BENCHMARK(BM_PredictRandomForestThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

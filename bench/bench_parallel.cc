@@ -1,0 +1,132 @@
+// Parallel-execution sweep: wall-clock for the three parallelized stages
+// (overlap blocking, pair vectorization, random-forest training) pinned to
+// 1/2/4/8-thread executors, on the case-study tables.
+//
+// Emits BENCH_parallel.json in the working directory — one record per
+// (stage, threads) with wall_ms and speedup vs the same stage at 1 thread —
+// plus host_cpus, because speedup is bounded by the physical cores the
+// host actually grants (a 1-core container shows ~1.0 across the sweep no
+// matter how well the pool scales elsewhere).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/datagen/case_study.h"
+#include "src/datagen/preprocess.h"
+#include "src/feature/vectorizer.h"
+#include "src/ml/random_forest.h"
+
+namespace {
+
+using namespace emx;
+
+double TimeMs(const std::function<void()>& fn) {
+  // Best of 3: the min is the least scheduler-noisy estimate on a busy host.
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Record {
+  std::string stage;
+  size_t threads;
+  double wall_ms;
+  double speedup;
+};
+
+int Run() {
+  auto data = GenerateCaseStudy();
+  if (!data.ok()) return 1;
+  auto tables = PreprocessCaseStudy(*data);
+  if (!tables.ok()) return 1;
+  const Table& u = tables->umetrics;
+  const Table& s = tables->usda;
+  auto blocks = RunStandardBlocking(u, s);
+  if (!blocks.ok()) return 1;
+  auto features = CaseStudyFeatures(u, s, /*case_fix=*/true);
+  if (!features.ok()) return 1;
+  OracleLabeler oracle = MakeOracle(data->gold, data->ambiguous);
+  LabeledSet labels = CollectCorrectedLabels(oracle, blocks->c, 3, 100, 100);
+  auto trained =
+      TrainBestMatcher(u, s, labels, PositiveRulesV1(), /*case_fix=*/true);
+  if (!trained.ok()) return 1;
+  const Dataset& train = trained->train_data;
+
+  auto blocker = MakeTitleOverlapBlocker(3);
+  const size_t sweep[] = {1, 2, 4, 8};
+  std::vector<Record> records;
+
+  for (size_t t : sweep) {
+    Executor pool(t);
+    ExecutorContext ctx{&pool};
+
+    double block_ms = TimeMs([&] {
+      auto c = blocker->Block(u, s, ctx);
+      if (!c.ok() || c->empty()) std::abort();
+    });
+    records.push_back({"overlap_block", t, block_ms, 0.0});
+
+    double vec_ms = TimeMs([&] {
+      auto m = VectorizePairs(u, s, blocks->c, *features, ctx);
+      if (!m.ok() || m->rows.empty()) std::abort();
+    });
+    records.push_back({"vectorize", t, vec_ms, 0.0});
+
+    double fit_ms = TimeMs([&] {
+      RandomForestMatcher forest;
+      forest.set_executor(ctx);
+      if (!forest.Fit(train).ok()) std::abort();
+    });
+    records.push_back({"rf_fit", t, fit_ms, 0.0});
+  }
+
+  // speedup = wall_ms at 1 thread / wall_ms at N threads, per stage.
+  for (Record& r : records) {
+    for (const Record& base : records) {
+      if (base.stage == r.stage && base.threads == 1) {
+        r.speedup = base.wall_ms / r.wall_ms;
+      }
+    }
+  }
+
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("host_cpus=%u\n", host_cpus);
+  std::printf("%-14s %8s %10s %8s\n", "stage", "threads", "wall_ms",
+              "speedup");
+  for (const Record& r : records) {
+    std::printf("%-14s %8zu %10.2f %8.2f\n", r.stage.c_str(), r.threads,
+                r.wall_ms, r.speedup);
+  }
+
+  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (!f) return 1;
+  std::fprintf(f, "{\n  \"host_cpus\": %u,\n  \"results\": [\n", host_cpus);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"stage\": \"%s\", \"threads\": %zu, "
+                 "\"wall_ms\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.stage.c_str(), r.threads, r.wall_ms, r.speedup,
+                 i + 1 == records.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

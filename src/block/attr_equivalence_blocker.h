@@ -23,8 +23,9 @@ class AttrEquivalenceBlocker : public Blocker {
                          Transform left_transform = nullptr,
                          Transform right_transform = nullptr);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
 
   std::string name() const override {
     return "ae(" + left_attr_ + "=" + right_attr_ + ")";

@@ -4,8 +4,9 @@
 
 namespace emx {
 
-Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table) {
-  EMX_ASSIGN_OR_RETURN(CandidateSet raw, blocker.Block(table, table));
+Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table,
+                               const ExecutorContext& ctx) {
+  EMX_ASSIGN_OR_RETURN(CandidateSet raw, blocker.Block(table, table, ctx));
   std::vector<RecordPair> out;
   out.reserve(raw.size() / 2);
   for (const RecordPair& p : raw) {

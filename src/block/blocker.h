@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/block/candidate_set.h"
+#include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/table/table.h"
 
@@ -12,12 +13,23 @@ namespace emx {
 // A blocker consumes two tables and emits the candidate pairs that survive
 // its heuristic (everything it drops is presumed a non-match). Workflows
 // union the outputs of several blockers (paper §7).
+//
+// Blocking is the pipeline's first embarrassingly parallel loop: every
+// implementation probes its index over left-table chunks on the executor
+// supplied via `ctx`, with per-chunk outputs merged in chunk order so the
+// candidate set is identical at any thread count.
 class Blocker {
  public:
   virtual ~Blocker() = default;
 
-  virtual Result<CandidateSet> Block(const Table& left,
-                                     const Table& right) const = 0;
+  virtual Result<CandidateSet> Block(const Table& left, const Table& right,
+                                     const ExecutorContext& ctx) const = 0;
+
+  // Convenience overload: blocks on the shared default executor.
+  // (Subclasses re-expose it with `using Blocker::Block;`.)
+  Result<CandidateSet> Block(const Table& left, const Table& right) const {
+    return Block(left, right, ExecutorContext{});
+  }
 
   // Human-readable description for provenance/logging.
   virtual std::string name() const = 0;
@@ -27,7 +39,8 @@ class Blocker {
 // table" scenario of §2): runs `blocker` with the table on both sides and
 // canonicalizes the output — self-pairs (i,i) are dropped and each
 // unordered pair is kept once as (min, max).
-Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table);
+Result<CandidateSet> BlockSelf(const Blocker& blocker, const Table& table,
+                               const ExecutorContext& ctx = {});
 
 }  // namespace emx
 

@@ -44,28 +44,36 @@ std::unordered_map<std::string, std::vector<uint32_t>> BuildInvertedIndex(
 }  // namespace
 
 // Shared core: for every left record, counts shared tokens with each right
-// record via the inverted index, then keeps pairs passing `keep`.
+// record via the inverted index, then keeps pairs passing `keep`. The index
+// is built once (read-only during probing), then left records probe it in
+// parallel chunks; per-chunk pair vectors concatenate in chunk order before
+// the (order-insensitive) CandidateSet canonicalization.
 template <typename KeepFn>
 CandidateSet OverlapJoin(
     const std::vector<std::vector<std::string>>& left_tokens,
     const std::vector<std::vector<std::string>>& right_tokens,
-    const KeepFn& keep) {
+    const KeepFn& keep, const ExecutorContext& ctx) {
   auto index = BuildInvertedIndex(right_tokens);
-  std::vector<RecordPair> pairs;
-  std::unordered_map<uint32_t, size_t> counts;
-  for (size_t l = 0; l < left_tokens.size(); ++l) {
-    counts.clear();
-    for (const auto& t : left_tokens[l]) {
-      auto it = index.find(t);
-      if (it == index.end()) continue;
-      for (uint32_t r : it->second) ++counts[r];
-    }
-    for (const auto& [r, overlap] : counts) {
-      if (keep(left_tokens[l].size(), right_tokens[r].size(), overlap)) {
-        pairs.push_back({static_cast<uint32_t>(l), r});
-      }
-    }
-  }
+  std::vector<RecordPair> pairs = ctx.get().ParallelFlatMap(
+      left_tokens.size(), /*grain=*/0,
+      [&](size_t lo, size_t hi) {
+        std::vector<RecordPair> out;
+        std::unordered_map<uint32_t, size_t> counts;
+        for (size_t l = lo; l < hi; ++l) {
+          counts.clear();
+          for (const auto& t : left_tokens[l]) {
+            auto it = index.find(t);
+            if (it == index.end()) continue;
+            for (uint32_t r : it->second) ++counts[r];
+          }
+          for (const auto& [r, overlap] : counts) {
+            if (keep(left_tokens[l].size(), right_tokens[r].size(), overlap)) {
+              out.push_back({static_cast<uint32_t>(l), r});
+            }
+          }
+        }
+        return out;
+      });
   return CandidateSet(std::move(pairs));
 }
 
@@ -80,7 +88,8 @@ OverlapBlocker::OverlapBlocker(OverlapBlockerOptions options,
                            : std::make_shared<WhitespaceTokenizer>()) {}
 
 Result<CandidateSet> OverlapBlocker::Block(const Table& left,
-                                           const Table& right) const {
+                                           const Table& right,
+                                           const ExecutorContext& ctx) const {
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
                        left.ColumnByName(options_.left_attr));
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
@@ -89,7 +98,8 @@ Result<CandidateSet> OverlapBlocker::Block(const Table& left,
   auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
   size_t k = min_overlap_;
   return internal_block::OverlapJoin(
-      lt, rt, [k](size_t, size_t, size_t overlap) { return overlap >= k; });
+      lt, rt, [k](size_t, size_t, size_t overlap) { return overlap >= k; },
+      ctx);
 }
 
 std::string OverlapBlocker::name() const {
@@ -106,7 +116,7 @@ OverlapCoefficientBlocker::OverlapCoefficientBlocker(
                            : std::make_shared<WhitespaceTokenizer>()) {}
 
 Result<CandidateSet> OverlapCoefficientBlocker::Block(
-    const Table& left, const Table& right) const {
+    const Table& left, const Table& right, const ExecutorContext& ctx) const {
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
                        left.ColumnByName(options_.left_attr));
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
@@ -115,11 +125,13 @@ Result<CandidateSet> OverlapCoefficientBlocker::Block(
   auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
   double t = threshold_;
   return internal_block::OverlapJoin(
-      lt, rt, [t](size_t la, size_t lb, size_t overlap) {
+      lt, rt,
+      [t](size_t la, size_t lb, size_t overlap) {
         size_t mn = std::min(la, lb);
         if (mn == 0) return false;
         return static_cast<double>(overlap) >= t * static_cast<double>(mn);
-      });
+      },
+      ctx);
 }
 
 std::string OverlapCoefficientBlocker::name() const {

@@ -31,8 +31,9 @@ class OverlapBlocker : public Blocker {
   OverlapBlocker(OverlapBlockerOptions options, size_t min_overlap,
                  std::shared_ptr<Tokenizer> tokenizer = nullptr);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
 
   std::string name() const override;
 
@@ -50,8 +51,9 @@ class OverlapCoefficientBlocker : public Blocker {
   OverlapCoefficientBlocker(OverlapBlockerOptions options, double threshold,
                             std::shared_ptr<Tokenizer> tokenizer = nullptr);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
 
   std::string name() const override;
 

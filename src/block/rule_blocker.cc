@@ -8,18 +8,25 @@ namespace emx {
 RuleBlocker::RuleBlocker(std::string rule_name, Predicate keep)
     : rule_name_(std::move(rule_name)), keep_(std::move(keep)) {}
 
-Result<CandidateSet> RuleBlocker::Block(const Table& left,
-                                        const Table& right) const {
+Result<CandidateSet> RuleBlocker::Block(const Table& left, const Table& right,
+                                        const ExecutorContext& ctx) const {
   if (!keep_) return Status::InvalidArgument("RuleBlocker has no predicate");
-  std::vector<RecordPair> pairs;
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    for (size_t r = 0; r < right.num_rows(); ++r) {
-      if (keep_(left, l, right, r)) {
-        pairs.push_back(
-            {static_cast<uint32_t>(l), static_cast<uint32_t>(r)});
-      }
-    }
-  }
+  // The Cartesian product is the most parallel-hungry blocker of all:
+  // split the left rows into chunks, each scanning the full right table.
+  std::vector<RecordPair> pairs = ctx.get().ParallelFlatMap(
+      left.num_rows(), /*grain=*/0,
+      [&](size_t lo, size_t hi) {
+        std::vector<RecordPair> out;
+        for (size_t l = lo; l < hi; ++l) {
+          for (size_t r = 0; r < right.num_rows(); ++r) {
+            if (keep_(left, l, right, r)) {
+              out.push_back(
+                  {static_cast<uint32_t>(l), static_cast<uint32_t>(r)});
+            }
+          }
+        }
+        return out;
+      });
   return CandidateSet(std::move(pairs));
 }
 

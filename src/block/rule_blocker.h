@@ -20,8 +20,11 @@ class RuleBlocker : public Blocker {
 
   RuleBlocker(std::string rule_name, Predicate keep);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  // The predicate must be safe to call concurrently: left rows are
+  // evaluated in parallel chunks against the full right table.
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
 
   std::string name() const override { return "rule(" + rule_name_ + ")"; }
 

@@ -1,6 +1,7 @@
 #include "src/block/similarity_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,7 +20,15 @@ JaccardJoinBlocker::JaccardJoinBlocker(OverlapBlockerOptions options,
                            : std::make_shared<WhitespaceTokenizer>()) {}
 
 Result<CandidateSet> JaccardJoinBlocker::Block(const Table& left,
-                                               const Table& right) const {
+                                               const Table& right,
+                                               const ExecutorContext& ctx) const {
+  BlockStats stats;
+  return BlockWithStats(left, right, &stats, ctx);
+}
+
+Result<CandidateSet> JaccardJoinBlocker::BlockWithStats(
+    const Table& left, const Table& right, BlockStats* stats,
+    const ExecutorContext& ctx) const {
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
                        left.ColumnByName(options_.left_attr));
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
@@ -64,29 +73,41 @@ Result<CandidateSet> JaccardJoinBlocker::Block(const Table& left,
     }
   }
 
-  // Probe with left prefixes; verify candidates exactly.
-  last_verified_ = 0;
-  std::vector<RecordPair> out;
-  std::unordered_set<uint32_t> seen;
-  for (size_t l = 0; l < lt.size(); ++l) {
-    seen.clear();
-    size_t p = prefix_len(lt[l].size());
-    for (size_t i = 0; i < p; ++i) {
-      auto it = index.find(lt[l][i]);
-      if (it == index.end()) continue;
-      for (uint32_t r : it->second) {
-        if (!seen.insert(r).second) continue;
-        // Size filter: |x|·t <= |y| <= |x|/t is necessary for jaccard >= t.
-        double ls = static_cast<double>(lt[l].size());
-        double rs = static_cast<double>(rt[r].size());
-        if (rs < ls * threshold_ || rs > ls / threshold_) continue;
-        ++last_verified_;
-        if (JaccardSimilarity(lt[l], rt[r]) >= threshold_) {
-          out.push_back({static_cast<uint32_t>(l), r});
+  // Probe with left prefixes in parallel chunks; verify candidates
+  // exactly. Each chunk counts its own verifications; the per-chunk counts
+  // sum into `stats` after the merge, so the total is thread-count
+  // independent.
+  std::atomic<size_t> verified{0};
+  std::vector<RecordPair> out = ctx.get().ParallelFlatMap(
+      lt.size(), /*grain=*/0,
+      [&](size_t lo, size_t hi) {
+        std::vector<RecordPair> chunk;
+        std::unordered_set<uint32_t> seen;
+        size_t chunk_verified = 0;
+        for (size_t l = lo; l < hi; ++l) {
+          seen.clear();
+          size_t p = prefix_len(lt[l].size());
+          for (size_t i = 0; i < p; ++i) {
+            auto it = index.find(lt[l][i]);
+            if (it == index.end()) continue;
+            for (uint32_t r : it->second) {
+              if (!seen.insert(r).second) continue;
+              // Size filter: |x|·t <= |y| <= |x|/t is necessary for
+              // jaccard >= t.
+              double ls = static_cast<double>(lt[l].size());
+              double rs = static_cast<double>(rt[r].size());
+              if (rs < ls * threshold_ || rs > ls / threshold_) continue;
+              ++chunk_verified;
+              if (JaccardSimilarity(lt[l], rt[r]) >= threshold_) {
+                chunk.push_back({static_cast<uint32_t>(l), r});
+              }
+            }
+          }
         }
-      }
-    }
-  }
+        verified.fetch_add(chunk_verified, std::memory_order_relaxed);
+        return chunk;
+      });
+  stats->verified += verified.load();
   return CandidateSet(std::move(out));
 }
 
@@ -105,7 +126,10 @@ SortedNeighborhoodBlocker::SortedNeighborhoodBlocker(std::string left_attr,
       lowercase_(lowercase) {}
 
 Result<CandidateSet> SortedNeighborhoodBlocker::Block(
-    const Table& left, const Table& right) const {
+    const Table& left, const Table& right,
+    const ExecutorContext& /*ctx*/) const {
+  // Window sliding over one global sort order is inherently sequential;
+  // this blocker runs on the calling thread regardless of executor.
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* lcol,
                        left.ColumnByName(left_attr_));
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,

@@ -10,6 +10,17 @@
 
 namespace emx {
 
+// Filter-selectivity accounting for one Block call, returned explicitly
+// instead of stashed in blocker state (the previous `mutable size_t
+// last_verified_` made `const Block()` a data race once blockers ran on
+// several threads — and silently wrong when one blocker instance served
+// two concurrent workflows).
+struct BlockStats {
+  // Candidate pairs that survived the prefix+size filters and were
+  // verified with an exact similarity computation.
+  size_t verified = 0;
+};
+
 // Jaccard similarity-join blocker with prefix filtering — the string-
 // filtering machinery footnote 4 alludes to ("PyMatcher's blocking methods
 // use string filtering techniques where appropriate").
@@ -25,20 +36,23 @@ class JaccardJoinBlocker : public Blocker {
   JaccardJoinBlocker(OverlapBlockerOptions options, double threshold,
                      std::shared_ptr<Tokenizer> tokenizer = nullptr);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
+
+  // As Block, but also reports filter selectivity (per-chunk counts are
+  // accumulated into `stats`, which may not be null) — used by the
+  // ablation bench and the filter-lossless property test.
+  Result<CandidateSet> BlockWithStats(const Table& left, const Table& right,
+                                      BlockStats* stats,
+                                      const ExecutorContext& ctx = {}) const;
 
   std::string name() const override;
-
-  // Pairs whose similarity was exactly verified in the last Block call —
-  // exposed so the ablation bench can report filter selectivity.
-  size_t last_verified_count() const { return last_verified_; }
 
  private:
   OverlapBlockerOptions options_;
   double threshold_;
   std::shared_ptr<Tokenizer> tokenizer_;
-  mutable size_t last_verified_ = 0;
 };
 
 // Sorted-neighborhood blocker: sort both tables by a key expression and
@@ -50,8 +64,9 @@ class SortedNeighborhoodBlocker : public Blocker {
   SortedNeighborhoodBlocker(std::string left_attr, std::string right_attr,
                             size_t window, bool lowercase = true);
 
-  Result<CandidateSet> Block(const Table& left,
-                             const Table& right) const override;
+  using Blocker::Block;
+  Result<CandidateSet> Block(const Table& left, const Table& right,
+                             const ExecutorContext& ctx) const override;
 
   std::string name() const override {
     return "sorted_neighborhood(" + left_attr_ + ",w=" +

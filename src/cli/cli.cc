@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/block/attr_equivalence_blocker.h"
+#include "src/core/executor.h"
 #include "src/block/overlap_blocker.h"
 #include "src/block/similarity_join.h"
 #include "src/core/strings.h"
@@ -128,7 +129,8 @@ int CmdProfile(const Args& args, std::string& out, std::string& err) {
   return 0;
 }
 
-int CmdBlock(const Args& args, std::string& out, std::string& err) {
+int CmdBlock(const Args& args, const ExecutorContext& ctx, std::string& out,
+             std::string& err) {
   if (args.positional.size() != 2) {
     return Fail(err, "usage: emx block <left.csv> <right.csv> --method=... "
                      "--left-attr=... --out=...");
@@ -167,7 +169,7 @@ int CmdBlock(const Args& args, std::string& out, std::string& err) {
                      "' (ae|overlap|coeff|jaccard|snb)");
   }
 
-  auto pairs = blocker->Block(*left, *right);
+  auto pairs = blocker->Block(*left, *right, ctx);
   if (!pairs.ok()) return Fail(err, pairs.status().ToString());
   out += StrFormat("%s kept %zu of %zu pairs\n", blocker->name().c_str(),
                    pairs->size(), left->num_rows() * right->num_rows());
@@ -201,7 +203,8 @@ Result<std::unique_ptr<MlMatcher>> MakeMatcherByName(const std::string& name) {
   return m;
 }
 
-int CmdMatch(const Args& args, std::string& out, std::string& err) {
+int CmdMatch(const Args& args, const ExecutorContext& ctx, std::string& out,
+             std::string& err) {
   if (args.positional.size() != 2) {
     return Fail(err, "usage: emx match <left.csv> <right.csv> --pairs=... "
                      "--labels=... --out=...");
@@ -231,7 +234,8 @@ int CmdMatch(const Args& args, std::string& out, std::string& err) {
   // Train on the decided labels.
   LabeledSet decided = labels->WithoutUnsure();
   CandidateSet train_pairs = decided.Pairs();
-  auto train_matrix = VectorizePairs(*left, *right, train_pairs, *features);
+  auto train_matrix =
+      VectorizePairs(*left, *right, train_pairs, *features, ctx);
   if (!train_matrix.ok()) return Fail(err, train_matrix.status().ToString());
   MeanImputer imputer;
   imputer.Fit(*train_matrix);
@@ -248,12 +252,13 @@ int CmdMatch(const Args& args, std::string& out, std::string& err) {
   }
   auto matcher = MakeMatcherByName(args.Flag("matcher", "tree"));
   if (!matcher.ok()) return Fail(err, matcher.status().ToString());
+  (*matcher)->set_executor(ctx);
   if (Status s = (*matcher)->Fit(train); !s.ok()) {
     return Fail(err, s.ToString());
   }
 
   // Predict over the candidate pairs.
-  auto matrix = VectorizePairs(*left, *right, *pairs, *features);
+  auto matrix = VectorizePairs(*left, *right, *pairs, *features, ctx);
   if (!matrix.ok()) return Fail(err, matrix.status().ToString());
   if (Status s = imputer.Transform(*matrix); !s.ok()) {
     return Fail(err, s.ToString());
@@ -277,7 +282,8 @@ int CmdMatch(const Args& args, std::string& out, std::string& err) {
   return 0;
 }
 
-int CmdDedupe(const Args& args, std::string& out, std::string& err) {
+int CmdDedupe(const Args& args, const ExecutorContext& ctx, std::string& out,
+              std::string& err) {
   if (args.positional.size() != 1) {
     return Fail(err, "usage: emx dedupe <table.csv> --left-attr=... "
                      "[--method=...] [--out=...]");
@@ -303,7 +309,7 @@ int CmdDedupe(const Args& args, std::string& out, std::string& err) {
   } else {
     return Fail(err, "unknown --method '" + method + "' (ae|overlap|jaccard)");
   }
-  auto dup = BlockSelf(*blocker, *table);
+  auto dup = BlockSelf(*blocker, *table, ctx);
   if (!dup.ok()) return Fail(err, dup.status().ToString());
   out += StrFormat("%s found %zu potential duplicate pairs in %zu rows\n",
                    blocker->name().c_str(), dup->size(), table->num_rows());
@@ -344,11 +350,24 @@ int RunCli(const std::vector<std::string>& args, std::string& out,
                 "see src/cli/cli.h for full flag documentation");
   }
   Args parsed = ParseArgs(args, 1);
+
+  // Global --threads=N pins this invocation to a private N-thread pool;
+  // without it, stages run on the shared default executor (EMX_THREADS or
+  // hardware concurrency). Output is identical either way.
+  std::unique_ptr<Executor> pool;
+  ExecutorContext ctx;
+  if (parsed.Has("threads")) {
+    long n = std::atol(parsed.Flag("threads").c_str());
+    if (n <= 0) return Fail(err, "--threads must be a positive integer");
+    pool = std::make_unique<Executor>(static_cast<size_t>(n));
+    ctx.executor = pool.get();
+  }
+
   const std::string& cmd = args[0];
   if (cmd == "profile") return CmdProfile(parsed, out, err);
-  if (cmd == "block") return CmdBlock(parsed, out, err);
-  if (cmd == "dedupe") return CmdDedupe(parsed, out, err);
-  if (cmd == "match") return CmdMatch(parsed, out, err);
+  if (cmd == "block") return CmdBlock(parsed, ctx, out, err);
+  if (cmd == "dedupe") return CmdDedupe(parsed, ctx, out, err);
+  if (cmd == "match") return CmdMatch(parsed, ctx, out, err);
   if (cmd == "estimate") return CmdEstimate(parsed, out, err);
   return Fail(err, "unknown command '" + cmd + "'");
 }

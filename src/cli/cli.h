@@ -21,6 +21,11 @@ namespace emx {
 //                [--k=3] [--threshold=0.7] [--out=pairs.csv]
 //   emx estimate --matches=matches.csv --sample=sample.csv
 //
+// Every subcommand also accepts a global `--threads=N` flag selecting how
+// many threads the blocking/vectorization/matching stages run on (default:
+// the EMX_THREADS env var, else all hardware threads). Results are
+// identical at any thread count.
+//
 // Pair CSVs carry (left_id, right_id) row indices; label CSVs add a third
 // `label` column with yes/no/unsure. All diagnostics go to `out`/`err`
 // so tests can capture them.

@@ -1,0 +1,166 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace emx {
+
+namespace {
+
+// True on pool workers, and on any thread currently running chunks of a
+// parallel loop (including the caller); nested loops observe it and run
+// inline instead of re-entering the pool.
+thread_local bool tls_running_chunks = false;
+
+}  // namespace
+
+// One ParallelFor call. Workers and the caller claim chunk indices from
+// `next_chunk`; each chunk writes only its own `errors` slot, so no lock is
+// needed on the result side. `done_cv` is signalled (under `mu`, to pair
+// with the caller's predicate wait) when the last chunk retires.
+struct Executor::Job {
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  std::vector<std::exception_ptr> errors;
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+Executor::Executor(size_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreadCount() : num_threads) {
+  // The calling thread is one of the N; spawn the other N-1.
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t Executor::DefaultThreadCount() {
+  if (const char* env = std::getenv("EMX_THREADS")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+Executor& Executor::Default() {
+  static Executor* pool = new Executor(0);  // intentionally leaked
+  return *pool;
+}
+
+size_t Executor::EffectiveGrain(size_t n, size_t grain) const {
+  if (grain > 0) return grain;
+  // Auto grain: ~8 chunks per thread balances steal granularity against
+  // per-chunk overhead. Chunking never affects results (see class comment).
+  return std::max<size_t>(1, n / (8 * num_threads_));
+}
+
+bool Executor::ShouldRunSerially(size_t num_chunks) const {
+  return num_threads_ <= 1 || workers_.empty() || tls_running_chunks ||
+         num_chunks <= 1;
+}
+
+void Executor::ParallelFor(size_t begin, size_t end, size_t grain,
+                           const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  size_t g = EffectiveGrain(n, grain);
+  size_t num_chunks = (n + g - 1) / g;
+  if (ShouldRunSerially(num_chunks)) {
+    // Pool bypass: one inline call over the whole range, exactly the
+    // pre-executor code path.
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->grain = g;
+  job->num_chunks = num_chunks;
+  job->errors.resize(num_chunks);
+
+  // One queue token per helper; extras that arrive after the chunks run
+  // out exit the claim loop immediately.
+  size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (size_t i = 0; i < helpers; ++i) queue_.push(job);
+  }
+  if (helpers == 1) {
+    queue_cv_.notify_one();
+  } else if (helpers > 1) {
+    queue_cv_.notify_all();
+  }
+
+  RunChunks(*job);  // the caller is a full participant
+
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done_cv.wait(lk, [&] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+  }
+  for (std::exception_ptr& e : job->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Executor::RunChunks(Job& job) {
+  bool was_running = tls_running_chunks;
+  tls_running_chunks = true;
+  for (;;) {
+    size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    size_t lo = job.begin + c * job.grain;
+    size_t hi = std::min(job.end, lo + job.grain);
+    try {
+      (*job.fn)(lo, hi);
+    } catch (...) {
+      job.errors[c] = std::current_exception();
+    }
+    if (job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      // Lock pairs the notify with the caller's predicate re-check so the
+      // wakeup cannot be lost.
+      std::lock_guard<std::mutex> lk(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+  tls_running_chunks = was_running;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    RunChunks(*job);
+  }
+}
+
+}  // namespace emx

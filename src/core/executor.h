@@ -1,0 +1,131 @@
+#ifndef EMX_CORE_EXECUTOR_H_
+#define EMX_CORE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace emx {
+
+// Fixed-size worker-thread pool executing data-parallel loops with a
+// DETERMINISM GUARANTEE: every primitive partitions its index range into
+// contiguous chunks and merges per-chunk results in chunk order, so — as
+// long as the supplied function computes each index independently — the
+// output is bit-identical at any thread count, including 1.
+//
+// At 1 thread (or when called from inside a pool worker, see "nesting"
+// below) the pool is bypassed entirely and the function runs inline on the
+// calling thread over the whole range, which keeps seed (pre-executor)
+// behavior unchanged.
+//
+// Thread-count resolution: an explicit constructor argument wins; 0 defers
+// to DefaultThreadCount(), which honors the EMX_THREADS environment
+// variable and falls back to std::thread::hardware_concurrency(). The
+// calling thread participates in every loop, so an N-thread executor
+// spawns N-1 workers.
+//
+// Nesting: a ParallelFor issued from inside a worker (e.g. a fold of a
+// parallel cross-validation training a parallel random forest) runs
+// serially on that worker instead of re-entering the pool — never
+// deadlocks, never oversubscribes.
+//
+// Exceptions thrown by the loop body are captured per chunk and the first
+// one in CHUNK ORDER is rethrown on the calling thread after every chunk
+// has finished, so partial failures are deterministic too.
+class Executor {
+ public:
+  // num_threads == 0 → DefaultThreadCount().
+  explicit Executor(size_t num_threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  // Invokes fn(chunk_begin, chunk_end) over a partition of [begin, end)
+  // into chunks of at most `grain` indices (grain == 0 → automatic).
+  // Blocks until every chunk ran; rethrows the first chunk-order exception.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  // out[i] = fn(i) for i in [0, n). The element type must be
+  // default-constructible (slots are pre-allocated, then filled in place).
+  template <typename Fn>
+  auto ParallelMap(size_t n, size_t grain, const Fn& fn)
+      -> std::vector<std::decay_t<decltype(fn(size_t{0}))>> {
+    std::vector<std::decay_t<decltype(fn(size_t{0}))>> out(n);
+    ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) out[i] = fn(i);
+    });
+    return out;
+  }
+
+  // Deterministic chunked merge: fn(chunk_begin, chunk_end) returns a
+  // vector per chunk; chunks are concatenated in chunk order. On the
+  // serial path this is exactly fn(0, n) — one call, no copy.
+  template <typename Fn>
+  auto ParallelFlatMap(size_t n, size_t grain, const Fn& fn)
+      -> std::decay_t<decltype(fn(size_t{0}, size_t{0}))> {
+    using Container = std::decay_t<decltype(fn(size_t{0}, size_t{0}))>;
+    if (n == 0) return Container{};
+    size_t g = EffectiveGrain(n, grain);
+    size_t num_chunks = (n + g - 1) / g;
+    if (ShouldRunSerially(num_chunks)) return fn(0, n);
+    std::vector<Container> parts(num_chunks);
+    ParallelFor(0, n, g,
+                [&](size_t lo, size_t hi) { parts[lo / g] = fn(lo, hi); });
+    size_t total = 0;
+    for (const Container& p : parts) total += p.size();
+    Container out;
+    out.reserve(total);
+    for (Container& p : parts) {
+      out.insert(out.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+    }
+    return out;
+  }
+
+  // Process-wide shared pool, built lazily with DefaultThreadCount().
+  static Executor& Default();
+
+  // EMX_THREADS if set to a positive integer, else hardware concurrency
+  // (never 0).
+  static size_t DefaultThreadCount();
+
+ private:
+  struct Job;
+
+  size_t EffectiveGrain(size_t n, size_t grain) const;
+  bool ShouldRunSerially(size_t num_chunks) const;
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::queue<std::shared_ptr<Job>> queue_;
+  bool stopping_ = false;
+};
+
+// How a pipeline stage receives its executor: stages take an
+// ExecutorContext (cheap to copy, default-constructed means "use the
+// shared pool") so callers can pin work to a private pool — the CLI's
+// --threads flag does exactly that — without any global mutation.
+struct ExecutorContext {
+  Executor* executor = nullptr;  // nullptr → Executor::Default()
+
+  Executor& get() const { return executor ? *executor : Executor::Default(); }
+};
+
+}  // namespace emx
+
+#endif  // EMX_CORE_EXECUTOR_H_

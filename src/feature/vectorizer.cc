@@ -6,7 +6,8 @@ namespace emx {
 
 Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                                      const CandidateSet& pairs,
-                                     const FeatureSet& features) {
+                                     const FeatureSet& features,
+                                     const ExecutorContext& ctx) {
   // Resolve attribute columns once.
   struct Bound {
     const std::vector<Value>* lcol;
@@ -24,16 +25,19 @@ Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
 
   FeatureMatrix m;
   m.feature_names = features.names();
-  m.rows.reserve(pairs.size());
-  for (const RecordPair& p : pairs) {
-    std::vector<double> row;
-    row.reserve(features.features.size());
-    for (size_t i = 0; i < features.features.size(); ++i) {
-      row.push_back(features.features[i].fn((*bound[i].lcol)[p.left],
-                                            (*bound[i].rcol)[p.right]));
+  m.rows.resize(pairs.size());
+  ctx.get().ParallelFor(0, pairs.size(), /*grain=*/0, [&](size_t lo,
+                                                          size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      const RecordPair& p = pairs[r];
+      std::vector<double>& row = m.rows[r];
+      row.reserve(features.features.size());
+      for (size_t i = 0; i < features.features.size(); ++i) {
+        row.push_back(features.features[i].fn((*bound[i].lcol)[p.left],
+                                              (*bound[i].rcol)[p.right]));
+      }
     }
-    m.rows.push_back(std::move(row));
-  }
+  });
   return m;
 }
 

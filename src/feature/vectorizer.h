@@ -2,6 +2,7 @@
 #define EMX_FEATURE_VECTORIZER_H_
 
 #include "src/block/candidate_set.h"
+#include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/feature/feature_gen.h"
 #include "src/table/table.h"
@@ -12,9 +13,15 @@ namespace emx {
 // every feature of `features` on the pair's attribute values (§9: "we used
 // these features to convert each record pair into a feature vector").
 // Row i of the result corresponds to pairs[i]; missing comparisons are NaN.
+//
+// Rows are filled in parallel on `ctx`'s executor — each row is an
+// independent pure computation over (pairs[i], features), so the matrix is
+// identical at any thread count. Feature fns must be thread-safe (all
+// built-in similarity features are pure).
 Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                                      const CandidateSet& pairs,
-                                     const FeatureSet& features);
+                                     const FeatureSet& features,
+                                     const ExecutorContext& ctx = {});
 
 // Mean imputation fitted on a training matrix, applied to any matrix with
 // the same feature columns — PyMatcher fills missing feature values with

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/ml/matcher.h"
 #include "src/ml/metrics.h"
@@ -22,19 +23,28 @@ struct CvResult {
 // Stratified k-fold cross validation of a single matcher family: trains a
 // fresh model per fold and averages precision/recall/F1 — the §9 selection
 // procedure ("five-fold cross validation on H").
+//
+// Folds are independent (disjoint models, disjoint metric slots), so they
+// train concurrently on `ctx`'s executor; fold_metrics and the means are
+// assembled in fold order, making the result identical at any thread
+// count. The factory must be safe to invoke concurrently.
 Result<CvResult> CrossValidate(const MatcherFactory& factory,
-                               const Dataset& data, size_t k, uint64_t seed);
+                               const Dataset& data, size_t k, uint64_t seed,
+                               const ExecutorContext& ctx = {});
 
 // Cross-validates every candidate family on the same folds and returns
 // results sorted descending by mean F1 (best first).
 Result<std::vector<CvResult>> SelectMatcher(
     const std::vector<MatcherFactory>& factories, const Dataset& data,
-    size_t k, uint64_t seed);
+    size_t k, uint64_t seed, const ExecutorContext& ctx = {});
 
 // Leave-one-out predictions: element i is the label predicted for row i by
 // a model trained on all other rows — the §8 label-debugging procedure.
+// Each held-out row trains independently, so rows run concurrently on
+// `ctx`'s executor.
 Result<std::vector<int>> LeaveOneOutPredictions(const MatcherFactory& factory,
-                                                const Dataset& data);
+                                                const Dataset& data,
+                                                const ExecutorContext& ctx = {});
 
 }  // namespace emx
 

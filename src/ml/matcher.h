@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/executor.h"
 #include "src/core/status.h"
 #include "src/ml/dataset.h"
 
@@ -13,7 +14,9 @@ namespace emx {
 
 // A trainable binary matcher over feature vectors — the C++ analogue of the
 // six scikit-learn matchers PyMatcher wraps (§9). Implementations are
-// deterministic given their seed options.
+// deterministic given their seed options — INCLUDING across thread counts:
+// a matcher that parallelizes Fit/PredictProba on the configured executor
+// must produce bit-identical models and predictions at any pool size.
 class MlMatcher {
  public:
   virtual ~MlMatcher() = default;
@@ -30,6 +33,15 @@ class MlMatcher {
   std::vector<int> Predict(const std::vector<std::vector<double>>& x) const;
 
   virtual std::string name() const = 0;
+
+  // Executor the matcher's internal data-parallel loops run on (ensemble
+  // members, per-row prediction). Default: the shared pool. Set before Fit;
+  // not to be changed while a Fit or PredictProba is in flight.
+  void set_executor(const ExecutorContext& ctx) { exec_ctx_ = ctx; }
+  const ExecutorContext& executor_context() const { return exec_ctx_; }
+
+ private:
+  ExecutorContext exec_ctx_;
 };
 
 // Factory used by model selection / cross-validation to build a fresh,

@@ -21,24 +21,44 @@ Status RandomForestMatcher::Fit(const Dataset& data) {
         std::max(1.0, std::floor(std::sqrt(
                           static_cast<double>(data.num_features())))));
   }
+  // Fork() advances the parent engine, so per-tree RNG derivation is part
+  // of the model definition and stays serial; everything downstream of a
+  // tree's engine is independent of every other tree, which is what lets
+  // the trees train in parallel while the ensemble stays bit-identical to
+  // the single-threaded build.
   RandomEngine rng(options_.seed);
+  std::vector<RandomEngine> tree_rngs;
+  tree_rngs.reserve(options_.num_trees);
   for (size_t t = 0; t < options_.num_trees; ++t) {
-    RandomEngine tree_rng = rng.Fork(t);
-    // Bootstrap sample of the training rows.
-    std::vector<size_t> sample(data.size());
-    for (auto& s : sample) {
-      s = static_cast<size_t>(tree_rng.NextBelow(data.size()));
-    }
-    Dataset boot = data.Subset(sample);
-    DecisionTreeOptions tree_opts;
-    tree_opts.max_depth = options_.max_depth;
-    tree_opts.min_samples_leaf = options_.min_samples_leaf;
-    tree_opts.max_features = mtry;
-    tree_opts.seed = tree_rng.NextUint64();
-    DecisionTreeMatcher tree(tree_opts);
-    EMX_RETURN_IF_ERROR(tree.Fit(boot));
-    trees_.push_back(std::move(tree));
+    tree_rngs.push_back(rng.Fork(t));
   }
+
+  std::vector<DecisionTreeMatcher> trees(options_.num_trees);
+  std::vector<Status> statuses(options_.num_trees);
+  executor_context().get().ParallelFor(
+      0, options_.num_trees, /*grain=*/1, [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          RandomEngine tree_rng = tree_rngs[t];
+          // Bootstrap sample of the training rows.
+          std::vector<size_t> sample(data.size());
+          for (auto& s : sample) {
+            s = static_cast<size_t>(tree_rng.NextBelow(data.size()));
+          }
+          Dataset boot = data.Subset(sample);
+          DecisionTreeOptions tree_opts;
+          tree_opts.max_depth = options_.max_depth;
+          tree_opts.min_samples_leaf = options_.min_samples_leaf;
+          tree_opts.max_features = mtry;
+          tree_opts.seed = tree_rng.NextUint64();
+          DecisionTreeMatcher tree(tree_opts);
+          statuses[t] = tree.Fit(boot);
+          if (statuses[t].ok()) trees[t] = std::move(tree);
+        }
+      });
+  for (const Status& s : statuses) {
+    EMX_RETURN_IF_ERROR(s);
+  }
+  trees_ = std::move(trees);
   return Status::OK();
 }
 
@@ -107,8 +127,13 @@ std::vector<double> RandomForestMatcher::PredictProba(
     const std::vector<std::vector<double>>& x) const {
   std::vector<double> out(x.size(), 0.0);
   if (trees_.empty()) return out;
-  for (const auto& tree : trees_) {
-    std::vector<double> p = tree.PredictProba(x);
+  // Trees predict in parallel; the accumulation stays serial IN TREE ORDER
+  // so the floating-point sum is bit-identical to the one-thread engine.
+  ExecutorContext ctx = executor_context();
+  std::vector<std::vector<double>> per_tree = ctx.get().ParallelMap(
+      trees_.size(), /*grain=*/1,
+      [&](size_t t) { return trees_[t].PredictProba(x); });
+  for (const std::vector<double>& p : per_tree) {
     for (size_t i = 0; i < x.size(); ++i) out[i] += p[i];
   }
   for (double& v : out) v /= static_cast<double>(trees_.size());

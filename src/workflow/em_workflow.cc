@@ -1,5 +1,7 @@
 #include "src/workflow/em_workflow.h"
 
+#include <optional>
+
 namespace emx {
 
 void EmWorkflow::SetMatcher(std::shared_ptr<MlMatcher> matcher,
@@ -7,6 +9,12 @@ void EmWorkflow::SetMatcher(std::shared_ptr<MlMatcher> matcher,
   matcher_ = std::move(matcher);
   features_ = std::move(features);
   imputer_ = std::move(imputer);
+  if (matcher_) matcher_->set_executor(exec_ctx_);
+}
+
+void EmWorkflow::SetExecutor(const ExecutorContext& ctx) {
+  exec_ctx_ = ctx;
+  if (matcher_) matcher_->set_executor(exec_ctx_);
 }
 
 Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
@@ -21,11 +29,22 @@ Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
 
   // Stage 2: blocking; the candidate set always includes the sure matches
   // (the paper folds M1 into blocking so rule-satisfying pairs cannot be
-  // lost, §7 step 1).
+  // lost, §7 step 1). The blockers are independent of one another, so they
+  // fan out across the executor; the union below walks their results in
+  // registration order, a deterministic merge into C2. Each blocker also
+  // receives the executor for its own internal chunking (nested calls
+  // serialize on the worker they land on).
+  std::vector<std::optional<Result<CandidateSet>>> blocked(blockers_.size());
+  exec_ctx_.get().ParallelFor(
+      0, blockers_.size(), /*grain=*/1, [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b) {
+          blocked[b] = blockers_[b]->Block(left, right, exec_ctx_);
+        }
+      });
   out.candidates = out.sure_matches;
-  for (const auto& blocker : blockers_) {
-    EMX_ASSIGN_OR_RETURN(CandidateSet c, blocker->Block(left, right));
-    out.candidates = CandidateSet::Union(out.candidates, c);
+  for (std::optional<Result<CandidateSet>>& c : blocked) {
+    if (!c->ok()) return c->status();
+    out.candidates = CandidateSet::Union(out.candidates, **c);
   }
 
   // Stage 3: ML matching on C2 − C1.
@@ -33,7 +52,7 @@ Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
   if (matcher_ != nullptr && !out.ml_input.empty()) {
     EMX_ASSIGN_OR_RETURN(
         FeatureMatrix m,
-        VectorizePairs(left, right, out.ml_input, features_));
+        VectorizePairs(left, right, out.ml_input, features_, exec_ctx_));
     EMX_RETURN_IF_ERROR(imputer_.Transform(m));
     std::vector<int> pred = matcher_->Predict(m.rows);
     std::vector<RecordPair> positives;

@@ -7,6 +7,7 @@
 
 #include "src/block/blocker.h"
 #include "src/block/candidate_set.h"
+#include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/feature/feature_gen.h"
 #include "src/feature/vectorizer.h"
@@ -59,6 +60,15 @@ class EmWorkflow {
   void SetMatcher(std::shared_ptr<MlMatcher> matcher, FeatureSet features,
                   MeanImputer imputer);
 
+  // Executor every stage of Run executes on: the blockers fan out across
+  // it (unioned deterministically in registration order), vectorization
+  // fills feature rows on it, and the installed matcher inherits it for
+  // its own internal parallelism. Default: the shared pool. The workflow's
+  // OUTPUT is identical at any thread count — parallelism here is pure
+  // wall-clock.
+  void SetExecutor(const ExecutorContext& ctx);
+  const ExecutorContext& executor_context() const { return exec_ctx_; }
+
   const std::vector<MatchRule>& positive_rules() const {
     return positive_rules_;
   }
@@ -81,6 +91,7 @@ class EmWorkflow {
   std::shared_ptr<MlMatcher> matcher_;
   FeatureSet features_;
   MeanImputer imputer_;
+  ExecutorContext exec_ctx_;
 };
 
 // Merges branch results when a workflow is run over several input batches

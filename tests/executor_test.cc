@@ -1,0 +1,232 @@
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/executor.h"
+
+namespace emx {
+namespace {
+
+// --- lifecycle -------------------------------------------------------------------
+
+TEST(ExecutorTest, ConstructsAndJoinsAtAnySize) {
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    Executor pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }  // destructor joins; a hang here fails via test timeout
+}
+
+TEST(ExecutorTest, ZeroMeansDefaultThreadCount) {
+  Executor pool(0);
+  EXPECT_EQ(pool.num_threads(), Executor::DefaultThreadCount());
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ExecutorTest, DefaultThreadCountHonorsEmxThreads) {
+  const char* old = std::getenv("EMX_THREADS");
+  std::string saved = old ? old : "";
+  setenv("EMX_THREADS", "3", 1);
+  EXPECT_EQ(Executor::DefaultThreadCount(), 3u);
+  setenv("EMX_THREADS", "0", 1);  // non-positive → ignored
+  EXPECT_GE(Executor::DefaultThreadCount(), 1u);
+  setenv("EMX_THREADS", "junk", 1);
+  EXPECT_GE(Executor::DefaultThreadCount(), 1u);
+  if (old) {
+    setenv("EMX_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("EMX_THREADS");
+  }
+}
+
+TEST(ExecutorTest, IdleDestructionDoesNotHang) {
+  // A pool that never ran a loop must still shut down cleanly.
+  Executor pool(8);
+}
+
+// --- ParallelFor coverage --------------------------------------------------------
+
+// Every index in [begin, end) visited exactly once, any grain.
+void CheckCoverage(Executor& pool, size_t begin, size_t end, size_t grain) {
+  std::vector<std::atomic<int>> visits(end);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(begin, end, grain, [&](size_t lo, size_t hi) {
+    ASSERT_LE(begin, lo);
+    ASSERT_LE(lo, hi);
+    ASSERT_LE(hi, end);
+    for (size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < begin; ++i) EXPECT_EQ(visits[i].load(), 0) << i;
+  for (size_t i = begin; i < end; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ExecutorTest, ParallelForCoversRangeOnce) {
+  Executor pool(4);
+  CheckCoverage(pool, 0, 1000, 0);   // automatic grain
+  CheckCoverage(pool, 0, 1000, 1);   // one index per chunk
+  CheckCoverage(pool, 0, 1000, 7);   // uneven tail chunk
+  CheckCoverage(pool, 0, 10, 100);   // grain > n → single chunk, serial
+  CheckCoverage(pool, 0, 1, 0);      // single element
+  CheckCoverage(pool, 5, 17, 3);     // begin != 0
+}
+
+TEST(ExecutorTest, EmptyRangeNeverInvokesBody) {
+  Executor pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 0, [&](size_t, size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(9, 9, 2, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ExecutorTest, SingleThreadRunsInline) {
+  // At 1 thread the whole range arrives as ONE chunk on the calling thread.
+  Executor pool(1);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100, 10, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    chunks.push_back({lo, hi});
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{0, 100}));
+}
+
+// --- exceptions ------------------------------------------------------------------
+
+TEST(ExecutorTest, ExceptionPropagatesToCaller) {
+  Executor pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t lo, size_t) {
+                         if (lo == 42) throw std::runtime_error("chunk 42");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ExecutorTest, FirstChunkOrderExceptionWins) {
+  // Several chunks throw; the rethrown one must be the LOWEST chunk, no
+  // matter which thread finished first.
+  Executor pool(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    try {
+      pool.ParallelFor(0, 64, 1, [&](size_t lo, size_t) {
+        if (lo == 7 || lo == 31 || lo == 55)
+          throw std::runtime_error("chunk " + std::to_string(lo));
+      });
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 7");
+    }
+  }
+}
+
+TEST(ExecutorTest, PoolUsableAfterException) {
+  Executor pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 8, 1,
+                                [](size_t, size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The failed loop must not wedge the workers.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 100, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+// --- nesting ---------------------------------------------------------------------
+
+TEST(ExecutorTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  Executor pool(4);
+  std::vector<std::atomic<int>> visits(32 * 32);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, 32, 1, [&](size_t olo, size_t ohi) {
+    for (size_t o = olo; o < ohi; ++o) {
+      std::thread::id outer = std::this_thread::get_id();
+      // The nested loop must stay on the worker that issued it.
+      pool.ParallelFor(0, 32, 1, [&, o](size_t ilo, size_t ihi) {
+        EXPECT_EQ(std::this_thread::get_id(), outer);
+        for (size_t i = ilo; i < ihi; ++i) visits[o * 32 + i].fetch_add(1);
+      });
+    }
+  });
+  for (size_t i = 0; i < visits.size(); ++i)
+    ASSERT_EQ(visits[i].load(), 1) << i;
+}
+
+// --- determinism across thread counts -------------------------------------------
+
+TEST(ExecutorTest, ParallelMapIdenticalAcrossThreadCounts) {
+  auto compute = [](Executor& pool) {
+    return pool.ParallelMap(1000, 0, [](size_t i) {
+      double v = 1.0;
+      for (size_t k = 0; k < i % 13; ++k) v = v * 1.0000001 + 1e-9;
+      return v * static_cast<double>(i);
+    });
+  };
+  Executor p1(1), p2(2), p8(8);
+  std::vector<double> r1 = compute(p1);
+  EXPECT_EQ(r1, compute(p2));
+  EXPECT_EQ(r1, compute(p8));
+}
+
+TEST(ExecutorTest, ParallelFlatMapIdenticalAcrossThreadCountsAndGrains) {
+  // Chunk-order concatenation: output sequence must not depend on how the
+  // range was chunked or which worker ran which chunk.
+  auto compute = [](Executor& pool, size_t grain) {
+    return pool.ParallelFlatMap(257, grain, [](size_t lo, size_t hi) {
+      std::vector<size_t> part;
+      for (size_t i = lo; i < hi; ++i) {
+        if (i % 3 != 1) part.push_back(i * i);  // uneven per-chunk sizes
+      }
+      return part;
+    });
+  };
+  Executor p1(1), p2(2), p8(8);
+  std::vector<size_t> expect = compute(p1, 0);
+  for (size_t grain : {0u, 1u, 5u, 64u, 1000u}) {
+    EXPECT_EQ(compute(p1, grain), expect) << grain;
+    EXPECT_EQ(compute(p2, grain), expect) << grain;
+    EXPECT_EQ(compute(p8, grain), expect) << grain;
+  }
+}
+
+TEST(ExecutorTest, ParallelMapHandlesEmptyAndMoveOnlyFriendlyTypes) {
+  Executor pool(4);
+  EXPECT_TRUE(pool.ParallelMap(0, 0, [](size_t i) { return i; }).empty());
+  auto strings = pool.ParallelMap(
+      100, 3, [](size_t i) { return std::string(i % 7, 'x'); });
+  ASSERT_EQ(strings.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(strings[i].size(), i % 7);
+}
+
+TEST(ExecutorTest, DefaultPoolIsShared) {
+  Executor& a = Executor::Default();
+  Executor& b = Executor::Default();
+  EXPECT_EQ(&a, &b);
+  ExecutorContext ctx;  // default context resolves to the shared pool
+  EXPECT_EQ(&ctx.get(), &a);
+  Executor mine(2);
+  ExecutorContext pinned{&mine};
+  EXPECT_EQ(&pinned.get(), &mine);
+}
+
+TEST(ExecutorTest, HeavyConcurrentUseSumsCorrectly) {
+  Executor pool(8);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<uint64_t> out(997);
+    pool.ParallelFor(0, out.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) out[i] = i;
+    });
+    uint64_t sum = std::accumulate(out.begin(), out.end(), uint64_t{0});
+    ASSERT_EQ(sum, uint64_t{997} * 996 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace emx

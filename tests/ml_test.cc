@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/executor.h"
 #include "src/core/random.h"
 #include "src/ml/cross_validation.h"
 #include "src/ml/decision_tree.h"
@@ -245,6 +246,51 @@ TEST(RandomForestTest, DifferentSeedsDifferentModels) {
   ASSERT_TRUE(a.Fit(train).ok());
   ASSERT_TRUE(b.Fit(train).ok());
   EXPECT_NE(a.PredictProba(probes), b.PredictProba(probes));
+}
+
+TEST(RandomForestTest, ModelAndPredictionsIdenticalAtAnyThreadCount) {
+  // Per-tree RNG streams are derived serially and predictions accumulate
+  // in tree order, so the fitted ensemble and its probabilities must be
+  // bit-identical whether training runs on 1 or 8 threads.
+  Dataset train = MakeDataset(30, 30, 41);
+  std::vector<std::vector<double>> probes;
+  RandomEngine rng(43);
+  for (int i = 0; i < 100; ++i) {
+    probes.push_back({rng.NextGaussian(), rng.NextGaussian(),
+                      rng.NextGaussian()});
+  }
+  Executor p1(1), p8(8);
+  RandomForestMatcher serial, parallel;
+  serial.set_executor(ExecutorContext{&p1});
+  parallel.set_executor(ExecutorContext{&p8});
+  ASSERT_TRUE(serial.Fit(train).ok());
+  ASSERT_TRUE(parallel.Fit(train).ok());
+  EXPECT_EQ(serial.Serialize(), parallel.Serialize());
+  EXPECT_EQ(serial.PredictProba(probes), parallel.PredictProba(probes));
+  // And both match a forest fit without any executor context (shared pool).
+  RandomForestMatcher plain;
+  ASSERT_TRUE(plain.Fit(train).ok());
+  EXPECT_EQ(plain.Serialize(), serial.Serialize());
+}
+
+TEST(CrossValidationTest, IdenticalAtAnyThreadCount) {
+  Dataset d = MakeDataset(40, 40, 47);
+  auto factory = [] { return std::make_unique<RandomForestMatcher>(); };
+  Executor p1(1), p8(8);
+  auto serial = CrossValidate(factory, d, 5, 123, ExecutorContext{&p1});
+  auto parallel = CrossValidate(factory, d, 5, 123, ExecutorContext{&p8});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->mean_precision, parallel->mean_precision);
+  EXPECT_EQ(serial->mean_recall, parallel->mean_recall);
+  EXPECT_EQ(serial->mean_f1, parallel->mean_f1);
+  ASSERT_EQ(serial->fold_metrics.size(), parallel->fold_metrics.size());
+  for (size_t i = 0; i < serial->fold_metrics.size(); ++i) {
+    EXPECT_EQ(serial->fold_metrics[i].tp, parallel->fold_metrics[i].tp);
+    EXPECT_EQ(serial->fold_metrics[i].fp, parallel->fold_metrics[i].fp);
+    EXPECT_EQ(serial->fold_metrics[i].fn, parallel->fold_metrics[i].fn);
+    EXPECT_EQ(serial->fold_metrics[i].tn, parallel->fold_metrics[i].tn);
+  }
 }
 
 // --- linear algebra --------------------------------------------------------------

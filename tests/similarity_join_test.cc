@@ -35,10 +35,11 @@ TEST(JaccardJoinTest, SizeFilterExcludesIncompatibleLengths) {
   opts.left_attr = "T";
   opts.right_attr = "T";
   JaccardJoinBlocker join(opts, 0.8);
-  auto c = join.Block(l, r);
+  BlockStats stats;
+  auto c = join.BlockWithStats(l, r, &stats);
   ASSERT_TRUE(c.ok());
   EXPECT_TRUE(c->empty());
-  EXPECT_EQ(join.last_verified_count(), 0u);  // size filter pruned it
+  EXPECT_EQ(stats.verified, 0u);  // size filter pruned it
 }
 
 // Property: the prefix-filtered join returns EXACTLY the brute-force
@@ -67,7 +68,8 @@ TEST_P(JaccardJoinEquivalenceTest, AgreesWithBruteForce) {
   opts.left_attr = "T";
   opts.right_attr = "T";
   JaccardJoinBlocker join(opts, threshold);
-  auto filtered = join.Block(l, r);
+  BlockStats stats;
+  auto filtered = join.BlockWithStats(l, r, &stats);
   ASSERT_TRUE(filtered.ok());
 
   WhitespaceTokenizer tok;
@@ -83,7 +85,7 @@ TEST_P(JaccardJoinEquivalenceTest, AgreesWithBruteForce) {
       << "threshold=" << threshold;
   // The filter should have verified (far) fewer pairs than the Cartesian
   // product — at worst, all of them.
-  EXPECT_LE(join.last_verified_count(), l.num_rows() * r.num_rows());
+  EXPECT_LE(stats.verified, l.num_rows() * r.num_rows());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JaccardJoinEquivalenceTest,

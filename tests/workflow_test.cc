@@ -2,6 +2,7 @@
 
 #include "src/block/attr_equivalence_blocker.h"
 #include "src/block/overlap_blocker.h"
+#include "src/core/executor.h"
 #include "src/ml/decision_tree.h"
 #include "src/rules/match_rules.h"
 #include "src/rules/number_pattern.h"
@@ -170,6 +171,34 @@ TEST(EmWorkflowTest, EmptyWorkflowProducesNothing) {
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->final_matches.empty());
   EXPECT_TRUE(run->candidates.empty());
+}
+
+TEST(EmWorkflowTest, RunIsIdenticalAtAnyThreadCount) {
+  // The executor's determinism guarantee, end to end: the same workflow
+  // pinned to 1-, 2-, and 8-thread pools must produce bit-identical runs.
+  Table l = WfLeft(), r = WfRight();
+  auto run_with = [&](Executor& pool) {
+    EmWorkflow wf = BuildToyWorkflow(/*with_negative_rules=*/true);
+    InstallTitleMatcher(wf);
+    wf.SetExecutor(ExecutorContext{&pool});
+    auto run = wf.Run(l, r);
+    EXPECT_TRUE(run.ok());
+    return std::move(*run);
+  };
+  Executor p1(1), p2(2), p8(8);
+  WorkflowRunResult base = run_with(p1);
+  for (Executor* pool : {&p2, &p8}) {
+    WorkflowRunResult got = run_with(*pool);
+    EXPECT_EQ(got.sure_matches, base.sure_matches);
+    EXPECT_EQ(got.candidates, base.candidates);
+    EXPECT_EQ(got.ml_input, base.ml_input);
+    EXPECT_EQ(got.ml_predicted, base.ml_predicted);
+    EXPECT_EQ(got.flipped, base.flipped);
+    EXPECT_EQ(got.after_rules, base.after_rules);
+    EXPECT_EQ(got.final_matches, base.final_matches);
+    EXPECT_EQ(got.provenance.CountsByProvenance(),
+              base.provenance.CountsByProvenance());
+  }
 }
 
 TEST(EmWorkflowTest, DescribeListsEveryStage) {
