@@ -10,6 +10,7 @@
 #include "src/block/rule_blocker.h"
 #include "src/block/similarity_join.h"
 #include "src/core/executor.h"
+#include "src/core/failpoint.h"
 #include "src/datagen/case_study.h"
 #include "src/datagen/preprocess.h"
 #include "src/text/set_similarity.h"
@@ -157,6 +158,34 @@ void BM_SortedNeighborhood(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SortedNeighborhood)->Arg(5)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+// Disarmed-failpoint overhead: the EMX_FAILPOINT sites sprinkled through
+// csv/workflow/checkpoint code must cost one atomic load + branch when no
+// fault is armed. This measures that fast path so a regression (e.g. someone
+// adding a lock to Check()) is visible next to the blocking numbers it would
+// tax.
+void BM_FailpointDisarmedCheck(benchmark::State& state) {
+  FailPoint& fp =
+      FailPointRegistry::Global().GetOrCreate("bench/disarmed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.Check().ok());
+  }
+}
+BENCHMARK(BM_FailpointDisarmedCheck);
+
+// The same blocking workload as BM_OverlapBlockerIndexed but running through
+// an armed-but-inert failpoint configuration, demonstrating that even ARMED
+// kOff points don't measurably tax the pipeline.
+void BM_OverlapBlockerWithDisarmedFailpoints(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  auto blocker = MakeTitleOverlapBlocker(3);
+  for (auto _ : state) {
+    auto c = blocker->Block(f.umetrics, f.usda);
+    benchmark::DoNotOptimize(c->size());
+  }
+}
+BENCHMARK(BM_OverlapBlockerWithDisarmedFailpoints)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CandidateSetUnion(benchmark::State& state) {

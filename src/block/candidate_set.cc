@@ -1,6 +1,10 @@
 #include "src/block/candidate_set.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/core/strings.h"
 
 namespace emx {
 
@@ -55,6 +59,74 @@ CandidateSet CandidateSet::UnionAll(
     out = Union(out, *s);
   }
   return out;
+}
+
+namespace {
+constexpr char kCandidatesHeader[] = "emx-candidates v1";
+
+// Parses a base-10 uint32 field; false on anything else (sign, overflow,
+// trailing junk).
+bool ParseU32(const std::string& s, uint32_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || v > UINT32_MAX) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+}  // namespace
+
+std::string SerializeCandidateSet(const CandidateSet& set) {
+  std::string out = kCandidatesHeader;
+  out += '\n';
+  out += std::to_string(set.size());
+  out += '\n';
+  for (const RecordPair& p : set) {
+    out += std::to_string(p.left);
+    out += ' ';
+    out += std::to_string(p.right);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<CandidateSet> DeserializeCandidateSet(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  // A trailing newline yields one empty final element; drop it.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty() || lines[0] != kCandidatesHeader) {
+    return Status::ParseError(
+        "candidate set artifact: missing or bad header (want '" +
+        std::string(kCandidatesHeader) + "')");
+  }
+  uint32_t declared = 0;
+  if (lines.size() < 2 || !ParseU32(lines[1], &declared)) {
+    return Status::ParseError(
+        "candidate set artifact: bad pair count on line 2");
+  }
+  if (lines.size() - 2 != declared) {
+    return Status::ParseError(
+        "candidate set artifact: declared " + std::to_string(declared) +
+        " pairs but found " + std::to_string(lines.size() - 2) +
+        " (truncated or padded artifact)");
+  }
+  std::vector<RecordPair> pairs;
+  pairs.reserve(declared);
+  for (size_t i = 2; i < lines.size(); ++i) {
+    std::vector<std::string> parts = SplitWhitespace(lines[i]);
+    RecordPair p;
+    if (parts.size() != 2 || !ParseU32(parts[0], &p.left) ||
+        !ParseU32(parts[1], &p.right)) {
+      return Status::ParseError("candidate set artifact: bad pair on line " +
+                                std::to_string(i + 1) + ": '" + lines[i] +
+                                "'");
+    }
+    pairs.push_back(p);
+  }
+  return CandidateSet(std::move(pairs));
 }
 
 }  // namespace emx

@@ -3,7 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
 
 namespace emx {
 
@@ -62,6 +66,16 @@ class CandidateSet {
  private:
   std::vector<RecordPair> pairs_;  // sorted, unique
 };
+
+// Versioned text round-trip used by the checkpoint store:
+//   emx-candidates v1
+//   <pair count>
+//   <left> <right>        (one line per pair, in set order)
+std::string SerializeCandidateSet(const CandidateSet& set);
+
+// ParseError (with line detail) on a bad header, malformed pair line, or a
+// count that disagrees with the lines present.
+Result<CandidateSet> DeserializeCandidateSet(const std::string& text);
 
 }  // namespace emx
 

@@ -1,10 +1,14 @@
 #include "src/cli/cli.h"
 
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "src/block/attr_equivalence_blocker.h"
 #include "src/core/executor.h"
+#include "src/core/failpoint.h"
+#include "src/core/logging.h"
 #include "src/block/overlap_blocker.h"
 #include "src/block/similarity_join.h"
 #include "src/core/strings.h"
@@ -19,6 +23,9 @@
 #include "src/ml/random_forest.h"
 #include "src/table/csv.h"
 #include "src/table/profile.h"
+#include "src/workflow/checkpoint.h"
+#include "src/workflow/em_workflow.h"
+#include "src/workflow/pipeline_runner.h"
 
 namespace emx {
 
@@ -117,6 +124,40 @@ Result<LabeledSet> ReadLabelsCsv(const std::string& path) {
   return out;
 }
 
+// --- blocker construction --------------------------------------------------------
+
+// Builds a blocker from --method and its parameter flags; shared by the
+// block and run subcommands. InvalidArgument on an unknown method.
+Result<std::shared_ptr<Blocker>> MakeBlockerFromArgs(
+    const Args& args, const std::string& left_attr,
+    const std::string& right_attr) {
+  std::string method = args.Flag("method", "overlap");
+  OverlapBlockerOptions opts;
+  opts.left_attr = left_attr;
+  opts.right_attr = right_attr;
+  std::shared_ptr<Blocker> blocker;
+  if (method == "ae") {
+    blocker = std::make_shared<AttrEquivalenceBlocker>(left_attr, right_attr);
+  } else if (method == "overlap") {
+    size_t k = static_cast<size_t>(std::atol(args.Flag("k", "3").c_str()));
+    blocker = std::make_shared<OverlapBlocker>(opts, k);
+  } else if (method == "coeff") {
+    double t = std::atof(args.Flag("threshold", "0.7").c_str());
+    blocker = std::make_shared<OverlapCoefficientBlocker>(opts, t);
+  } else if (method == "jaccard") {
+    double t = std::atof(args.Flag("threshold", "0.7").c_str());
+    blocker = std::make_shared<JaccardJoinBlocker>(opts, t);
+  } else if (method == "snb") {
+    size_t w = static_cast<size_t>(std::atol(args.Flag("window", "5").c_str()));
+    blocker =
+        std::make_shared<SortedNeighborhoodBlocker>(left_attr, right_attr, w);
+  } else {
+    return Status::InvalidArgument("unknown --method '" + method +
+                                   "' (ae|overlap|coeff|jaccard|snb)");
+  }
+  return blocker;
+}
+
 // --- subcommands -----------------------------------------------------------------
 
 int CmdProfile(const Args& args, std::string& out, std::string& err) {
@@ -143,31 +184,9 @@ int CmdBlock(const Args& args, const ExecutorContext& ctx, std::string& out,
   std::string left_attr = args.Flag("left-attr");
   std::string right_attr = args.Flag("right-attr", left_attr);
   if (left_attr.empty()) return Fail(err, "--left-attr is required");
-  std::string method = args.Flag("method", "overlap");
-
-  std::unique_ptr<Blocker> blocker;
-  OverlapBlockerOptions opts;
-  opts.left_attr = left_attr;
-  opts.right_attr = right_attr;
-  if (method == "ae") {
-    blocker = std::make_unique<AttrEquivalenceBlocker>(left_attr, right_attr);
-  } else if (method == "overlap") {
-    size_t k = static_cast<size_t>(std::atol(args.Flag("k", "3").c_str()));
-    blocker = std::make_unique<OverlapBlocker>(opts, k);
-  } else if (method == "coeff") {
-    double t = std::atof(args.Flag("threshold", "0.7").c_str());
-    blocker = std::make_unique<OverlapCoefficientBlocker>(opts, t);
-  } else if (method == "jaccard") {
-    double t = std::atof(args.Flag("threshold", "0.7").c_str());
-    blocker = std::make_unique<JaccardJoinBlocker>(opts, t);
-  } else if (method == "snb") {
-    size_t w = static_cast<size_t>(std::atol(args.Flag("window", "5").c_str()));
-    blocker = std::make_unique<SortedNeighborhoodBlocker>(left_attr,
-                                                          right_attr, w);
-  } else {
-    return Fail(err, "unknown --method '" + method +
-                     "' (ae|overlap|coeff|jaccard|snb)");
-  }
+  auto blocker_or = MakeBlockerFromArgs(args, left_attr, right_attr);
+  if (!blocker_or.ok()) return Fail(err, blocker_or.status().message());
+  std::shared_ptr<Blocker> blocker = *blocker_or;
 
   auto pairs = blocker->Block(*left, *right, ctx);
   if (!pairs.ok()) return Fail(err, pairs.status().ToString());
@@ -340,16 +359,222 @@ int CmdEstimate(const Args& args, std::string& out, std::string& err) {
   return 0;
 }
 
+// --- the end-to-end pipeline (emx run) -------------------------------------------
+
+// Deterministic text form of a labeled set, used only for fingerprinting
+// the trained-model checkpoint (sorted pair order, not insertion order).
+std::string SerializeLabelsForFingerprint(const LabeledSet& labels) {
+  std::string out;
+  for (const RecordPair& p : labels.Pairs()) {
+    Label l = Label::kUnsure;
+    labels.GetLabel(p, &l);
+    out += std::to_string(p.left) + " " + std::to_string(p.right) + " " +
+           std::string(LabelToString(l)) + "\n";
+  }
+  return out;
+}
+
+// Serialized form of a trained matcher, or "" for types without a text
+// round-trip (only the tree and forest serialize today).
+std::string SerializeModel(const MlMatcher& matcher,
+                           const std::string& matcher_name) {
+  if (matcher_name == "tree") {
+    return static_cast<const DecisionTreeMatcher&>(matcher).Serialize();
+  }
+  if (matcher_name == "forest") {
+    return static_cast<const RandomForestMatcher&>(matcher).Serialize();
+  }
+  return "";
+}
+
+// Restores a matcher from its checkpoint artifact; nullptr when the type
+// does not round-trip or the artifact does not parse.
+std::shared_ptr<MlMatcher> DeserializeModel(const std::string& text,
+                                            const std::string& matcher_name) {
+  if (matcher_name == "tree") {
+    auto restored = DecisionTreeMatcher::Deserialize(text);
+    if (restored.ok()) {
+      return std::make_shared<DecisionTreeMatcher>(std::move(*restored));
+    }
+    EMX_LOG(Warning) << "model checkpoint does not parse ("
+                     << restored.status().ToString() << "); retraining";
+  } else if (matcher_name == "forest") {
+    auto restored = RandomForestMatcher::Deserialize(text);
+    if (restored.ok()) {
+      return std::make_shared<RandomForestMatcher>(std::move(*restored));
+    }
+    EMX_LOG(Warning) << "model checkpoint does not parse ("
+                     << restored.status().ToString() << "); retraining";
+  }
+  return nullptr;
+}
+
+int CmdRun(const Args& args, const ExecutorContext& ctx, std::string& out,
+           std::string& err) {
+  if (args.positional.size() != 2) {
+    return Fail(err,
+                "usage: emx run <left.csv> <right.csv> --left-attr=... "
+                "--labels=... [--method=...] [--matcher=tree] "
+                "[--checkpoint-dir=DIR] [--resume] [--out=matches.csv]");
+  }
+  auto left = ReadCsvFile(args.positional[0]);
+  if (!left.ok()) return Fail(err, left.status().ToString());
+  auto right = ReadCsvFile(args.positional[1]);
+  if (!right.ok()) return Fail(err, right.status().ToString());
+
+  std::string left_attr = args.Flag("left-attr");
+  std::string right_attr = args.Flag("right-attr", left_attr);
+  if (left_attr.empty()) return Fail(err, "--left-attr is required");
+  auto blocker_or = MakeBlockerFromArgs(args, left_attr, right_attr);
+  if (!blocker_or.ok()) return Fail(err, blocker_or.status().message());
+
+  if (!args.Has("labels")) return Fail(err, "--labels is required");
+  auto labels = ReadLabelsCsv(args.Flag("labels"));
+  if (!labels.ok()) return Fail(err, labels.status().ToString());
+
+  FeatureGenOptions fopts;
+  for (auto& col : Split(args.Flag("exclude"), ',')) {
+    if (!col.empty()) fopts.exclude.push_back(col);
+  }
+  for (auto& col : Split(args.Flag("lowercase"), ',')) {
+    if (!col.empty()) fopts.lowercase_variants.push_back(col);
+  }
+  auto features = GenerateFeatures(*left, *right, fopts);
+  if (!features.ok()) return Fail(err, features.status().ToString());
+
+  // Train stage. Vectorize the decided labels and fit the configured
+  // matcher, unless a resumable model checkpoint matches the training
+  // inputs exactly.
+  const std::string checkpoint_dir = args.Flag("checkpoint-dir");
+  const bool resume = args.Has("resume");
+  std::optional<CheckpointStore> store;
+  if (!checkpoint_dir.empty()) {
+    auto opened = CheckpointStore::Open(checkpoint_dir);
+    if (!opened.ok()) return Fail(err, opened.status().ToString());
+    store.emplace(std::move(*opened));
+  }
+
+  LabeledSet decided = labels->WithoutUnsure();
+  CandidateSet train_pairs = decided.Pairs();
+  auto train_matrix =
+      VectorizePairs(*left, *right, train_pairs, *features, ctx);
+  if (!train_matrix.ok()) return Fail(err, train_matrix.status().ToString());
+  MeanImputer imputer;
+  imputer.Fit(*train_matrix);
+  if (Status s = imputer.Transform(*train_matrix); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+
+  const std::string matcher_name = args.Flag("matcher", "tree");
+  const std::string model_fp = HashHex(Fnv1a64(
+      WriteCsvString(*left) + "\x1f" + WriteCsvString(*right) + "\x1f" +
+      SerializeLabelsForFingerprint(decided) + "\x1f" + matcher_name +
+      "\x1f" + Join(features->names(), ",")));
+
+  std::shared_ptr<MlMatcher> matcher;
+  if (store && resume) {
+    if (auto cached = store->Get("model", model_fp); cached.ok()) {
+      matcher = DeserializeModel(*cached, matcher_name);
+      if (matcher) out += "resumed trained model from checkpoint\n";
+    }
+  }
+  if (matcher == nullptr) {
+    auto made = MakeMatcherByName(matcher_name);
+    if (!made.ok()) return Fail(err, made.status().ToString());
+    matcher = std::shared_ptr<MlMatcher>(std::move(*made));
+    matcher->set_executor(ctx);
+    Dataset train;
+    train.feature_names = train_matrix->feature_names;
+    train.x = train_matrix->rows;
+    for (const RecordPair& p : train_pairs) {
+      Label l = Label::kNo;
+      decided.GetLabel(p, &l);
+      train.y.push_back(l == Label::kYes ? 1 : 0);
+    }
+    if (Status s = matcher->Fit(train); !s.ok()) {
+      return Fail(err, s.ToString());
+    }
+    if (store) {
+      std::string serialized = SerializeModel(*matcher, matcher_name);
+      if (!serialized.empty()) {
+        if (Status s = store->Put("model", model_fp, serialized); !s.ok()) {
+          return Fail(err, s.ToString());
+        }
+      } else {
+        out += "note: matcher '" + matcher_name +
+               "' has no serialization; it will retrain on resume\n";
+      }
+    }
+  }
+
+  // Predict stage, driven through the checkpointing runner.
+  EmWorkflow wf;
+  wf.SetExecutor(ctx);
+  wf.AddBlocker(*blocker_or);
+  wf.SetMatcher(matcher, std::move(*features), std::move(imputer));
+  PipelineOptions popts;
+  popts.checkpoint_dir = checkpoint_dir;
+  popts.resume = resume;
+  PipelineRunner runner(&wf, popts);
+  auto run = runner.Run(*left, *right);
+  if (!run.ok()) return Fail(err, run.status().ToString());
+
+  out += StrFormat(
+      "pipeline: %zu candidate pairs, %zu ml matches, %zu final matches\n",
+      run->candidates.size(), run->after_rules.size(),
+      run->final_matches.size());
+
+  std::string out_path = args.Flag("out");
+  if (!out_path.empty()) {
+    Table t(Schema({{"left_id", DataType::kInt64},
+                    {"right_id", DataType::kInt64},
+                    {"provenance", DataType::kString}}));
+    for (const RecordPair& p : run->final_matches) {
+      Status s = t.AppendRow({Value(static_cast<int64_t>(p.left)),
+                              Value(static_cast<int64_t>(p.right)),
+                              Value(run->provenance.ProvenanceOf(p))});
+      if (!s.ok()) return Fail(err, s.ToString());
+    }
+    Status s = WriteCsvFile(t, out_path);
+    if (!s.ok()) return Fail(err, s.ToString());
+    out += "wrote " + out_path + "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::string& out,
            std::string& err) {
   if (args.empty()) {
     return Fail(err,
-                "usage: emx <profile|block|match|estimate> ...\n"
+                "usage: emx <profile|block|match|estimate|run> ...\n"
                 "see src/cli/cli.h for full flag documentation");
   }
   Args parsed = ParseArgs(args, 1);
+
+  // Fault injection: arm failpoints named by the EMX_FAILPOINTS env var and
+  // the --fail-point flag (';'-separated specs; the flag is applied second
+  // so it wins on the same name). Everything armed here is disarmed when
+  // this invocation returns, so in-process callers (tests, batch drivers)
+  // don't leak injection state into the next run.
+  struct ScopedFailPoints {
+    bool active = false;
+    ~ScopedFailPoints() {
+      if (active) FailPointRegistry::Global().DisarmAll();
+    }
+  } scoped_fail_points;
+  if (std::getenv("EMX_FAILPOINTS") != nullptr || parsed.Has("fail-point")) {
+    scoped_fail_points.active = true;
+    if (Status s = FailPointRegistry::Global().ArmFromEnv(); !s.ok()) {
+      return Fail(err, s.ToString());
+    }
+    if (parsed.Has("fail-point")) {
+      Status s = FailPointRegistry::Global().ArmFromSpecList(
+          parsed.Flag("fail-point"));
+      if (!s.ok()) return Fail(err, s.ToString());
+    }
+  }
 
   // Global --threads=N pins this invocation to a private N-thread pool;
   // without it, stages run on the shared default executor (EMX_THREADS or
@@ -369,6 +594,7 @@ int RunCli(const std::vector<std::string>& args, std::string& out,
   if (cmd == "dedupe") return CmdDedupe(parsed, ctx, out, err);
   if (cmd == "match") return CmdMatch(parsed, ctx, out, err);
   if (cmd == "estimate") return CmdEstimate(parsed, out, err);
+  if (cmd == "run") return CmdRun(parsed, ctx, out, err);
   return Fail(err, "unknown command '" + cmd + "'");
 }
 

@@ -20,11 +20,27 @@ namespace emx {
 //   emx dedupe   <table.csv> --left-attr=COL [--method=ae|overlap|jaccard]
 //                [--k=3] [--threshold=0.7] [--out=pairs.csv]
 //   emx estimate --matches=matches.csv --sample=sample.csv
+//   emx run      <left.csv> <right.csv> --left-attr=COL --labels=labels.csv
+//                [--method=...] [--matcher=tree|forest|logreg|nb|svm|linreg]
+//                [--exclude=...] [--lowercase=...]
+//                [--checkpoint-dir=DIR] [--resume] [--out=matches.csv]
+//
+// `emx run` executes the end-to-end pipeline (train → block → match) with
+// stage-level checkpointing: with --checkpoint-dir each stage's output (and
+// the trained tree/forest model) is persisted as it completes, and a rerun
+// with --resume skips every stage whose inputs are unchanged — a run killed
+// mid-pipeline resumes from the last completed stage and produces
+// bit-identical matches to an uninterrupted run.
 //
 // Every subcommand also accepts a global `--threads=N` flag selecting how
 // many threads the blocking/vectorization/matching stages run on (default:
 // the EMX_THREADS env var, else all hardware threads). Results are
 // identical at any thread count.
+//
+// Fault injection: the global `--fail-point=<spec>[;<spec>...]` flag (and
+// the EMX_FAILPOINTS env var, same format) arms named failpoints for the
+// invocation, e.g. `--fail-point=csv/read:error(IoError),count=2`. See
+// src/core/failpoint.h for the spec grammar.
 //
 // Pair CSVs carry (left_id, right_id) row indices; label CSVs add a third
 // `label` column with yes/no/unsure. All diagnostics go to `out`/`err`

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <stdexcept>
+
+#include "src/core/failpoint.h"
 
 namespace emx {
 
@@ -88,6 +91,16 @@ void Executor::ParallelFor(size_t begin, size_t end, size_t grain,
     // pre-executor code path.
     fn(begin, end);
     return;
+  }
+
+  // Fault-injection hook on the pool-dispatch path (serial bypass above is
+  // uninstrumented: there is no dispatch to fail). ParallelFor has no Status
+  // channel, so an injected failure surfaces as the exception the chunked
+  // error protocol already propagates deterministically.
+  static FailPoint& dispatch_fp =
+      FailPointRegistry::Global().GetOrCreate("executor/dispatch");
+  if (Status fp_status = dispatch_fp.Check(); !fp_status.ok()) {
+    throw std::runtime_error(fp_status.ToString());
   }
 
   auto job = std::make_shared<Job>();

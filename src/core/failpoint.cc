@@ -1,0 +1,196 @@
+#include "src/core/failpoint.h"
+
+#include <cstdlib>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+void FailPoint::Arm(const FailPointConfig& config) {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_ = config;
+  remaining_ = config.count;
+  rng_ = RandomEngine(config.seed);
+  // Release-publish after the config is in place so a concurrent Check()
+  // that observes armed_ == true always sees the new config under mu_.
+  armed_.store(true, std::memory_order_release);
+}
+
+void FailPoint::Disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+void FailPoint::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+}
+
+Status FailPoint::Evaluate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Re-check under the lock: a concurrent Disarm() may have won.
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+
+  bool fire = false;
+  switch (config_.mode) {
+    case FailPointMode::kOff:
+      break;
+    case FailPointMode::kError:
+      fire = true;
+      break;
+    case FailPointMode::kProb:
+      fire = rng_.NextBernoulli(config_.probability);
+      break;
+  }
+  if (!fire) return Status::OK();
+
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  if (remaining_ > 0 && --remaining_ == 0) {
+    armed_.store(false, std::memory_order_release);
+  }
+  return Status::FromCode(
+      config_.code,
+      "failpoint '" + name_ + "' injected " +
+          std::string(StatusCodeToString(config_.code)));
+}
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry* registry = new FailPointRegistry();  // leaked
+  return *registry;
+}
+
+FailPoint& FailPointRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_ptr<FailPoint>& slot = points_[name];
+  if (slot == nullptr) slot = std::make_unique<FailPoint>(name);
+  return *slot;
+}
+
+FailPoint* FailPointRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// Parses "error(IoError)" / "prob(0.25)" / "off" into `config`.
+Status ParseMode(const std::string& token, FailPointConfig* config) {
+  if (token == "off") {
+    config->mode = FailPointMode::kOff;
+    return Status::OK();
+  }
+  size_t open = token.find('(');
+  if (open == std::string::npos || token.back() != ')') {
+    return Status::InvalidArgument("bad failpoint mode '" + token +
+                                   "' (want off, error(<code>), prob(<p>))");
+  }
+  std::string kind = token.substr(0, open);
+  std::string arg = token.substr(open + 1, token.size() - open - 2);
+  if (kind == "error") {
+    StatusCode code;
+    if (!StatusCodeFromString(arg, &code) || code == StatusCode::kOk) {
+      return Status::InvalidArgument("bad failpoint error code '" + arg + "'");
+    }
+    config->mode = FailPointMode::kError;
+    config->code = code;
+    return Status::OK();
+  }
+  if (kind == "prob") {
+    char* end = nullptr;
+    double p = std::strtod(arg.c_str(), &end);
+    if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad failpoint probability '" + arg +
+                                     "' (want a number in [0,1])");
+    }
+    config->mode = FailPointMode::kProb;
+    config->probability = p;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint mode '" + kind + "'");
+}
+
+Status ParseOption(const std::string& token, FailPointConfig* config) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("bad failpoint option '" + token +
+                                   "' (want key=value)");
+  }
+  std::string key = token.substr(0, eq);
+  std::string value = token.substr(eq + 1);
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    return Status::InvalidArgument("bad failpoint option value '" + token +
+                                   "'");
+  }
+  if (key == "count") {
+    if (v <= 0) {
+      return Status::InvalidArgument("failpoint count must be positive: '" +
+                                     token + "'");
+    }
+    config->count = v;
+    return Status::OK();
+  }
+  if (key == "seed") {
+    config->seed = static_cast<uint64_t>(v);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint option '" + key + "'");
+}
+
+}  // namespace
+
+Status FailPointRegistry::ArmFromSpec(const std::string& spec) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument(
+        "bad failpoint spec '" + spec +
+        "' (want <name>:<mode>[,key=value...])");
+  }
+  std::string name = spec.substr(0, colon);
+  std::vector<std::string> tokens = Split(spec.substr(colon + 1), ',');
+  if (tokens.empty() || tokens[0].empty()) {
+    return Status::InvalidArgument("failpoint spec '" + spec +
+                                   "' is missing a mode");
+  }
+  FailPointConfig config;
+  EMX_RETURN_IF_ERROR(ParseMode(tokens[0], &config));
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    EMX_RETURN_IF_ERROR(ParseOption(tokens[i], &config));
+  }
+  GetOrCreate(name).Arm(config);
+  return Status::OK();
+}
+
+Status FailPointRegistry::ArmFromSpecList(const std::string& specs) {
+  for (const std::string& spec : Split(specs, ';')) {
+    if (std::string_view stripped = StripWhitespace(spec); !stripped.empty()) {
+      EMX_RETURN_IF_ERROR(ArmFromSpec(std::string(stripped)));
+    }
+  }
+  return Status::OK();
+}
+
+Status FailPointRegistry::ArmFromEnv() {
+  const char* env = std::getenv("EMX_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmFromSpecList(env);
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<std::string> FailPointRegistry::ArmedNames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, point] : points_) {
+    if (point->armed()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace emx

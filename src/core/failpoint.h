@@ -1,0 +1,140 @@
+#ifndef EMX_CORE_FAILPOINT_H_
+#define EMX_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/random.h"
+#include "src/core/status.h"
+
+namespace emx {
+
+// Fault-injection failpoints (the MongoDB idiom): named hooks compiled into
+// hot I/O and stage-boundary code that normally do nothing, but can be armed
+// — programmatically, via the CLI's --fail-point flag, or the EMX_FAILPOINTS
+// environment variable — to inject deterministic failures. They exist so the
+// pipeline's failure behavior (retry, checkpoint/resume, graceful
+// degradation) is testable instead of theoretical.
+//
+// Cost when disarmed: a single relaxed atomic load and a predictable branch
+// per EMX_FAILPOINT site (plus a one-time registry lookup cached in a static
+// at each site). No locks, no allocation, no counter updates.
+
+// How an armed failpoint decides whether to fire.
+enum class FailPointMode {
+  kOff,    // armed but inert (counts hits; useful for coverage probes)
+  kError,  // every hit fires until `count` is exhausted
+  kProb,   // each hit fires with probability `probability` (seeded RNG)
+};
+
+struct FailPointConfig {
+  FailPointMode mode = FailPointMode::kOff;
+  // Status code injected when the point fires. Must not be kOk.
+  StatusCode code = StatusCode::kIoError;
+  // kProb only: chance each hit fires, in [0, 1].
+  double probability = 0.0;
+  // kProb only: RNG seed, so injected failures are reproducible.
+  uint64_t seed = 42;
+  // Maximum number of fires before the point auto-disarms; -1 = unlimited.
+  // `count=2` on an error-mode point makes exactly the first two hits fail —
+  // the shape every retry test wants.
+  int64_t count = -1;
+};
+
+// One named failpoint. Stable address for the lifetime of the process (the
+// registry never erases entries), so call sites may cache references.
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // The instrumented-code entry point. OK when disarmed or the point decides
+  // not to fire; otherwise the configured error Status.
+  Status Check() {
+    if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+    return Evaluate();
+  }
+
+  void Arm(const FailPointConfig& config);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  // Check() calls observed while armed.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  // Failures actually injected.
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+ private:
+  Status Evaluate();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+
+  mutable std::mutex mu_;  // guards config_, remaining_, rng_
+  FailPointConfig config_;
+  int64_t remaining_ = -1;
+  RandomEngine rng_{0};
+};
+
+// Process-wide name → FailPoint map. Creation is on demand: instrumented
+// code registers its point the first time it runs, and tests/CLI may arm a
+// name before any instrumented code touched it.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Global();
+
+  FailPoint& GetOrCreate(const std::string& name);
+  // nullptr when the name was never created.
+  FailPoint* Find(const std::string& name) const;
+
+  // Arms one point from a spec string:
+  //   <name>:off
+  //   <name>:error(<StatusCode>)[,count=<n>]
+  //   <name>:prob(<p>)[,seed=<s>][,count=<n>]
+  // e.g. "csv/read:error(IoError),count=2". InvalidArgument on bad syntax.
+  Status ArmFromSpec(const std::string& spec);
+
+  // Arms every ';'-separated spec in `specs` (the --fail-point flag and
+  // EMX_FAILPOINTS env format). Empty segments are ignored.
+  Status ArmFromSpecList(const std::string& specs);
+
+  // Arms from the EMX_FAILPOINTS environment variable; no-op when unset.
+  Status ArmFromEnv();
+
+  void DisarmAll();
+  std::vector<std::string> ArmedNames() const;
+
+ private:
+  FailPointRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>> points_;
+};
+
+// Instruments the enclosing function (which must return Status or Result<T>)
+// with a named failpoint: when armed and firing, the injected Status is
+// returned from the function. Disarmed cost: one atomic load + branch.
+#define EMX_FAILPOINT(name)                                       \
+  do {                                                            \
+    static ::emx::FailPoint& _emx_fp_point =                      \
+        ::emx::FailPointRegistry::Global().GetOrCreate(name);     \
+    if (::emx::Status _emx_fp_status = _emx_fp_point.Check();     \
+        !_emx_fp_status.ok())                                     \
+      return _emx_fp_status;                                      \
+  } while (false)
+
+}  // namespace emx
+
+#endif  // EMX_CORE_FAILPOINT_H_

@@ -1,0 +1,81 @@
+#include "src/core/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+
+namespace emx {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::string detail = path + ": " + std::strerror(errno);
+    if (errno == ENOENT) return Status::NotFound(std::move(detail));
+    return Status::IoError(std::move(detail));
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  if (std::ferror(f)) {
+    std::string detail = path + ": read failed: " + std::strerror(errno);
+    std::fclose(f);
+    return Status::IoError(std::move(detail));
+  }
+  std::fclose(f);
+  return content;
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(path + ": cannot open for writing: " +
+                           std::strerror(errno));
+  }
+  size_t wrote = content.empty()
+                     ? 0
+                     : std::fwrite(content.data(), 1, content.size(), f);
+  if (wrote != content.size()) {
+    std::string detail = path + ": write failed: " + std::strerror(errno);
+    std::fclose(f);
+    std::remove(path.c_str());
+    return Status::IoError(std::move(detail));
+  }
+  if (std::fflush(f) != 0) {
+    std::string detail = path + ": flush failed: " + std::strerror(errno);
+    std::fclose(f);
+    std::remove(path.c_str());
+    return Status::IoError(std::move(detail));
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(path.c_str());
+    return Status::IoError(path + ": close failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& content, const std::string& path) {
+  std::string tmp = path + ".tmp";
+  EMX_RETURN_IF_ERROR(WriteStringToFile(content, tmp));
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::string detail =
+        path + ": rename from temp failed: " + std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::IoError(std::move(detail));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace emx

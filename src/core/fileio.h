@@ -1,0 +1,31 @@
+#ifndef EMX_CORE_FILEIO_H_
+#define EMX_CORE_FILEIO_H_
+
+#include <string>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
+
+namespace emx {
+
+// Low-level file helpers shared by the CSV layer and the checkpoint store.
+// All failures carry the path and strerror(errno) detail; a missing file is
+// NotFound (deterministic, not retryable), everything else is IoError
+// (transient, retryable per retry.h).
+
+// Reads the whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes `content` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+// Crash-safe write: writes `path` + ".tmp" and renames it over `path`, so a
+// reader never observes a half-written file — the checkpoint atomicity
+// protocol (DESIGN.md §7).
+Status WriteFileAtomic(const std::string& content, const std::string& path);
+
+bool FileExists(const std::string& path);
+
+}  // namespace emx
+
+#endif  // EMX_CORE_FILEIO_H_

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/core/logging.h"
 #include "src/core/status.h"
 
 namespace emx {
@@ -61,7 +62,13 @@ class Result {
 
  private:
   void CheckOk() const {
-    if (!ok()) std::abort();
+    if (!ok()) {
+      // Log the code and message before dying: a silent abort in a deep
+      // pipeline is undiagnosable from a core dump alone.
+      EMX_LOG(Error) << "Result::value() called on errored Result: "
+                     << status_.ToString();
+      std::abort();
+    }
   }
 
   std::optional<T> value_;

@@ -1,0 +1,54 @@
+#include "src/core/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/core/logging.h"
+
+namespace emx {
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kIoError;
+}
+
+std::chrono::milliseconds BackoffForAttempt(const RetryPolicy& policy,
+                                            int attempt) {
+  if (attempt <= 2) return std::min(policy.initial_backoff, policy.max_backoff);
+  double ms = static_cast<double>(policy.initial_backoff.count());
+  for (int i = 2; i < attempt; ++i) ms *= policy.backoff_multiplier;
+  ms = std::min(ms, static_cast<double>(policy.max_backoff.count()));
+  return std::chrono::milliseconds(static_cast<int64_t>(ms));
+}
+
+namespace internal_retry {
+
+void SleepBeforeAttempt(const RetryPolicy& policy, std::string_view what,
+                        int next_attempt, const Status& failure) {
+  std::chrono::milliseconds backoff = BackoffForAttempt(policy, next_attempt);
+  EMX_LOG(Warning) << "retryable failure in " << what << " (attempt "
+                   << (next_attempt - 1) << "/" << policy.max_attempts
+                   << "): " << failure.ToString() << "; retrying in "
+                   << backoff.count() << "ms";
+  if (policy.sleep) {
+    policy.sleep(backoff);
+  } else {
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+}  // namespace internal_retry
+
+Status RetryStatus(const RetryPolicy& policy, std::string_view what,
+                   const std::function<Status()>& fn) {
+  Status status = fn();
+  for (int attempt = 2;
+       attempt <= policy.max_attempts && !status.ok() &&
+       IsRetryableCode(status.code());
+       ++attempt) {
+    internal_retry::SleepBeforeAttempt(policy, what, attempt, status);
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace emx

@@ -1,0 +1,72 @@
+#ifndef EMX_CORE_RETRY_H_
+#define EMX_CORE_RETRY_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
+
+namespace emx {
+
+// Retry with exponential backoff for transient failures.
+//
+// The retry layer is deliberately dumb about WHAT it runs and strict about
+// WHEN it reruns: only codes classified retryable (transient I/O) are
+// retried; deterministic failures — parse errors, missing files, bad
+// arguments — pass through after a single attempt, because rerunning them
+// can only waste time and mask the real diagnosis.
+
+// True for codes worth retrying. Today: kIoError only.
+bool IsRetryableCode(StatusCode code);
+
+struct RetryPolicy {
+  // Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 3;
+  // Backoff before the 2nd attempt; doubles (times `backoff_multiplier`)
+  // per subsequent attempt, capped at `max_backoff`.
+  std::chrono::milliseconds initial_backoff{10};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{5000};
+  // Injectable sleep so tests run on a fake clock; nullptr → real
+  // std::this_thread::sleep_for.
+  std::function<void(std::chrono::milliseconds)> sleep;
+};
+
+// Backoff preceding attempt `attempt` (2-based: attempt 1 never waits).
+std::chrono::milliseconds BackoffForAttempt(const RetryPolicy& policy,
+                                            int attempt);
+
+namespace internal_retry {
+// Logs a warning for the failed attempt and sleeps the policy's backoff.
+void SleepBeforeAttempt(const RetryPolicy& policy, std::string_view what,
+                        int next_attempt, const Status& failure);
+}  // namespace internal_retry
+
+// Runs `fn` up to policy.max_attempts times while it fails with a retryable
+// code, backing off between attempts. Returns the first success or the
+// final (or first non-retryable) failure. `what` names the operation in
+// retry warnings, e.g. "read /data/left.csv".
+Status RetryStatus(const RetryPolicy& policy, std::string_view what,
+                   const std::function<Status()>& fn);
+
+// Result-returning variant of RetryStatus.
+template <typename T>
+Result<T> Retry(const RetryPolicy& policy, std::string_view what,
+                const std::function<Result<T>()>& fn) {
+  Result<T> result = fn();
+  for (int attempt = 2;
+       attempt <= policy.max_attempts && !result.ok() &&
+       IsRetryableCode(result.status().code());
+       ++attempt) {
+    internal_retry::SleepBeforeAttempt(policy, what, attempt, result.status());
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace emx
+
+#endif  // EMX_CORE_RETRY_H_

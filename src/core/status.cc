@@ -28,6 +28,21 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromString(std::string_view name, StatusCode* out) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kIoError, StatusCode::kParseError,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kNotImplemented}) {
+    if (name == StatusCodeToString(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

@@ -26,6 +26,11 @@ enum class StatusCode {
 // Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
 std::string_view StatusCodeToString(StatusCode code);
 
+// Inverse of StatusCodeToString: parses "IoError", "NotFound", ... into
+// `out`. Returns false (leaving `out` untouched) for unknown names. Used by
+// the failpoint spec parser, which names injected codes textually.
+bool StatusCodeFromString(std::string_view name, StatusCode* out);
+
 // A Status is either OK (the cheap, common case: no allocation) or an error
 // code plus a message describing what went wrong.
 class Status {
@@ -65,6 +70,16 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  // Builds an error from a runtime-chosen code (failpoints inject whatever
+  // code they were armed with). `code` must not be kOk; kOk degrades to an
+  // Internal error rather than minting a message-carrying OK.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) {
+      return Status(StatusCode::kInternal,
+                    "Status::FromCode called with kOk: " + std::move(msg));
+    }
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

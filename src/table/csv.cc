@@ -2,23 +2,34 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <vector>
+
+#include "src/core/failpoint.h"
+#include "src/core/fileio.h"
 
 namespace emx {
 
 namespace {
 
+// One raw record plus the 1-based line its first character sits on, so
+// parse errors can point at the offending row of the source file.
+struct RawRecord {
+  std::vector<std::string> fields;
+  size_t line = 0;
+};
+
 // Splits raw CSV content into records of fields, honoring quoting.
-Result<std::vector<std::vector<std::string>>> Tokenize(
-    const std::string& content, char delim) {
-  std::vector<std::vector<std::string>> records;
+Result<std::vector<RawRecord>> Tokenize(const std::string& content,
+                                        char delim) {
+  std::vector<RawRecord> records;
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
   bool field_was_quoted = false;
   bool any_field = false;
+  size_t line = 1;              // current 1-based line
+  size_t record_line = 1;       // line the current record started on
+  size_t quote_open_line = 0;   // line of the last still-open quote
 
   auto end_field = [&]() {
     record.push_back(field);
@@ -28,7 +39,7 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
   };
   auto end_record = [&]() {
     end_field();
-    records.push_back(std::move(record));
+    records.push_back({std::move(record), record_line});
     record.clear();
   };
 
@@ -46,6 +57,7 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
           ++i;
         }
       } else {
+        if (c == '\n') ++line;  // embedded newline inside quotes
         field += c;
         ++i;
       }
@@ -54,6 +66,7 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
         in_quotes = true;
         field_was_quoted = true;
         any_field = true;
+        quote_open_line = line;
         ++i;
       } else if (c == delim) {
         end_field();
@@ -64,9 +77,13 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
         ++i;
         if (i < n && content[i] == '\n') continue;  // handled by \n branch
         end_record();
+        ++line;
+        record_line = line;
       } else if (c == '\n') {
         end_record();
         ++i;
+        ++line;
+        record_line = line;
       } else {
         field += c;
         any_field = true;
@@ -75,7 +92,9 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
     }
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quoted field at end of input");
+    return Status::ParseError(
+        "unterminated quoted field (quote opened on line " +
+        std::to_string(quote_open_line) + ") at end of input");
   }
   // Flush a final record that lacked a trailing newline.
   if (any_field || !field.empty() || !record.empty()) {
@@ -110,26 +129,27 @@ Value InferValue(const std::string& field) {
 
 Result<Table> ReadCsvString(const std::string& content,
                             const CsvReadOptions& options) {
-  EMX_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+  EMX_ASSIGN_OR_RETURN(std::vector<RawRecord> records,
                        Tokenize(content, options.delimiter));
   if (records.empty()) return Table();
 
   std::vector<std::string> names;
   size_t first_data = 0;
   if (options.has_header) {
-    names = records[0];
+    names = records[0].fields;
     first_data = 1;
   } else {
-    for (size_t i = 0; i < records[0].size(); ++i) {
+    for (size_t i = 0; i < records[0].fields.size(); ++i) {
       names.push_back("col" + std::to_string(i));
     }
   }
   Table table(Schema::FromNames(names));
   for (size_t r = first_data; r < records.size(); ++r) {
-    const auto& rec = records[r];
+    const std::vector<std::string>& rec = records[r].fields;
     if (rec.size() != names.size()) {
       return Status::ParseError(
-          "record " + std::to_string(r) + " has " +
+          "record " + std::to_string(r + 1) + " (line " +
+          std::to_string(records[r].line) + ") has " +
           std::to_string(rec.size()) + " fields, expected " +
           std::to_string(names.size()));
     }
@@ -149,13 +169,30 @@ Result<Table> ReadCsvString(const std::string& content,
   return table;
 }
 
+namespace {
+
+// One read attempt, instrumented for fault injection. Kept separate from
+// ReadCsvFile so the retry loop wraps exactly the transient part (the file
+// I/O), never the parse.
+Result<std::string> ReadCsvAttempt(const std::string& path) {
+  EMX_FAILPOINT("csv/read");
+  return ReadFileToString(path);
+}
+
+}  // namespace
+
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ReadCsvString(ss.str(), options);
+  EMX_ASSIGN_OR_RETURN(
+      std::string content,
+      Retry<std::string>(options.retry, "read " + path,
+                         [&path] { return ReadCsvAttempt(path); }));
+  Result<Table> table = ReadCsvString(content, options);
+  if (!table.ok() && table.status().code() == StatusCode::kParseError) {
+    // Anchor parse diagnostics to the file they came from.
+    return Status::ParseError(path + ": " + table.status().message());
+  }
+  return table;
 }
 
 namespace {
@@ -205,11 +242,11 @@ std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvWriteOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << WriteCsvString(table, options);
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  std::string payload = WriteCsvString(table, options);
+  return RetryStatus(options.retry, "write " + path, [&]() -> Status {
+    EMX_FAILPOINT("csv/write");
+    return WriteStringToFile(payload, path);
+  });
 }
 
 }  // namespace emx

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/core/result.h"
+#include "src/core/retry.h"
 #include "src/core/status.h"
 #include "src/table/table.h"
 
@@ -18,20 +19,31 @@ struct CsvReadOptions {
   // values and empty fields become null. When false, every field is a string
   // (empty fields still become null).
   bool infer_types = true;
+  // Transient read failures (IoError) are retried under this policy; a
+  // missing file (NotFound) and malformed content (ParseError) fail
+  // immediately — rereading cannot fix them.
+  RetryPolicy retry;
 };
 
 struct CsvWriteOptions {
   char delimiter = ',';
   bool write_header = true;
+  // Transient write failures are retried under this policy.
+  RetryPolicy retry;
 };
 
 // Parses RFC-4180 CSV content (quoted fields, doubled quotes, embedded
 // delimiters/newlines inside quotes) into a Table. Rows with a field count
-// different from the header are a ParseError.
+// different from the header are a ParseError carrying the 1-based record
+// and line number plus the offending field count, so dirty-data failures
+// point at the bad row.
 Result<Table> ReadCsvString(const std::string& content,
                             const CsvReadOptions& options = {});
 
-// Reads a CSV file from disk.
+// Reads a CSV file from disk. NotFound when the file does not exist;
+// IoError (with strerror detail, retried per options.retry) on read
+// failure; ParseError (prefixed with the path) on malformed content.
+// Failpoint: "csv/read" fires once per read attempt.
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options = {});
 
@@ -40,7 +52,8 @@ Result<Table> ReadCsvFile(const std::string& path,
 std::string WriteCsvString(const Table& table,
                            const CsvWriteOptions& options = {});
 
-// Writes a table to a CSV file on disk.
+// Writes a table to a CSV file on disk. IoError failures are retried per
+// options.retry. Failpoint: "csv/write" fires once per write attempt.
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvWriteOptions& options = {});
 

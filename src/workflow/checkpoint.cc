@@ -1,0 +1,171 @@
+#include "src/workflow/checkpoint.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "src/core/failpoint.h"
+#include "src/core/fileio.h"
+#include "src/core/logging.h"
+#include "src/core/strings.h"
+
+namespace emx {
+
+namespace {
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "emx-checkpoint v1";
+
+// Artifact file name for a stage: path-hostile characters flattened, plus a
+// short name hash so distinct stages can never collide after sanitizing.
+std::string ArtifactNameForStage(const std::string& stage) {
+  std::string safe;
+  safe.reserve(stage.size());
+  for (char c : stage) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    safe += ok ? c : '_';
+  }
+  return safe + "-" + HashHex(Fnv1a64(stage)).substr(8) + ".art";
+}
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string HashHex(uint64_t h) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+Result<CheckpointStore> CheckpointStore::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  CheckpointStore store(dir);
+  store.LoadManifest();
+  return store;
+}
+
+std::string CheckpointStore::ManifestPath() const {
+  return dir_ + "/" + kManifestName;
+}
+
+std::string CheckpointStore::ArtifactPath(const CheckpointEntry& entry) const {
+  return dir_ + "/" + entry.artifact;
+}
+
+void CheckpointStore::LoadManifest() {
+  entries_.clear();
+  Result<std::string> content = ReadFileToString(ManifestPath());
+  if (!content.ok()) {
+    if (content.status().code() != StatusCode::kNotFound) {
+      EMX_LOG(Warning) << "checkpoint manifest unreadable ("
+                       << content.status().ToString()
+                       << "); starting from an empty store";
+    }
+    return;
+  }
+  std::vector<std::string> lines = Split(*content, '\n');
+  if (lines.empty() || lines[0] != kManifestHeader) {
+    EMX_LOG(Warning) << "checkpoint manifest at " << ManifestPath()
+                     << " has a bad header; ignoring it";
+    return;
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> parts = SplitWhitespace(lines[i]);
+    if (parts.size() != 5) {
+      EMX_LOG(Warning) << "checkpoint manifest line " << (i + 1)
+                       << " is malformed; dropping the entry";
+      continue;
+    }
+    CheckpointEntry entry;
+    entry.stage = parts[0];
+    entry.fingerprint = parts[1];
+    entry.artifact = parts[2];
+    entry.checksum = parts[3];
+    char* end = nullptr;
+    entry.bytes = std::strtoull(parts[4].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      EMX_LOG(Warning) << "checkpoint manifest line " << (i + 1)
+                       << " has a bad size; dropping the entry";
+      continue;
+    }
+    entries_[entry.stage] = std::move(entry);
+  }
+}
+
+Status CheckpointStore::WriteManifest() const {
+  std::string out = kManifestHeader;
+  out += '\n';
+  for (const auto& [stage, entry] : entries_) {
+    out += entry.stage + " " + entry.fingerprint + " " + entry.artifact +
+           " " + entry.checksum + " " + std::to_string(entry.bytes) + "\n";
+  }
+  return WriteFileAtomic(out, ManifestPath());
+}
+
+Status CheckpointStore::Put(const std::string& stage,
+                            const std::string& fingerprint,
+                            const std::string& content) {
+  EMX_FAILPOINT("checkpoint/write");
+  CheckpointEntry entry;
+  entry.stage = stage;
+  entry.fingerprint = fingerprint;
+  entry.artifact = ArtifactNameForStage(stage);
+  entry.checksum = HashHex(Fnv1a64(content));
+  entry.bytes = content.size();
+  // Artifact first, manifest second: a crash between the two leaves an
+  // artifact no manifest entry points at (harmless), never a manifest entry
+  // pointing at a missing or stale artifact with a fresh checksum.
+  EMX_RETURN_IF_ERROR(WriteFileAtomic(content, ArtifactPath(entry)));
+  entries_[stage] = std::move(entry);
+  return WriteManifest();
+}
+
+Result<std::string> CheckpointStore::Get(const std::string& stage,
+                                         const std::string& fingerprint) const {
+  EMX_FAILPOINT("checkpoint/read");
+  auto it = entries_.find(stage);
+  if (it == entries_.end()) {
+    return Status::NotFound("no checkpoint for stage '" + stage + "'");
+  }
+  const CheckpointEntry& entry = it->second;
+  if (entry.fingerprint != fingerprint) {
+    return Status::NotFound("checkpoint for stage '" + stage +
+                            "' is stale (fingerprint " + entry.fingerprint +
+                            ", want " + fingerprint + ")");
+  }
+  EMX_ASSIGN_OR_RETURN(std::string content,
+                       ReadFileToString(ArtifactPath(entry)));
+  if (content.size() != entry.bytes) {
+    return Status::FailedPrecondition(
+        "checkpoint artifact for stage '" + stage + "' is " +
+        std::to_string(content.size()) + " bytes, manifest says " +
+        std::to_string(entry.bytes) + " (truncated?)");
+  }
+  if (std::string checksum = HashHex(Fnv1a64(content));
+      checksum != entry.checksum) {
+    return Status::FailedPrecondition(
+        "checkpoint artifact for stage '" + stage +
+        "' fails its checksum (got " + checksum + ", manifest says " +
+        entry.checksum + ")");
+  }
+  return content;
+}
+
+}  // namespace emx

@@ -1,0 +1,88 @@
+#ifndef EMX_WORKFLOW_CHECKPOINT_H_
+#define EMX_WORKFLOW_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/core/result.h"
+#include "src/core/status.h"
+
+namespace emx {
+
+// Stage-level checkpointing for long-lived pipeline runs.
+//
+// A CheckpointStore is a directory holding one artifact file per pipeline
+// stage plus a versioned MANIFEST recording, for each stage: the
+// fingerprint of everything the stage's output depends on (input tables,
+// workflow config, upstream artifacts), the artifact file name, and a
+// content checksum. Writes are crash-safe (temp file + rename, artifact
+// before manifest), so an interrupted run leaves either the previous
+// consistent state or the new one — never a half-written artifact that a
+// resume would trust. Reads verify size + checksum and report corruption as
+// an error the caller downgrades to recomputation: a checkpoint is a cache,
+// and a damaged cache entry must never be able to fail a run that could
+// simply redo the work.
+
+// FNV-1a 64-bit hash used for stage fingerprints and artifact checksums.
+// Platform- and run-stable (no pointer or time inputs).
+uint64_t Fnv1a64(std::string_view data);
+
+// Lower-case fixed-width hex of `h`, the manifest encoding.
+std::string HashHex(uint64_t h);
+
+// One manifest entry.
+struct CheckpointEntry {
+  std::string stage;
+  std::string fingerprint;  // HashHex of the stage's input dependencies
+  std::string artifact;     // file name within the store directory
+  std::string checksum;     // HashHex of the artifact content
+  uint64_t bytes = 0;       // artifact size, a cheap pre-checksum gate
+};
+
+class CheckpointStore {
+ public:
+  // Opens `dir`, creating it if needed, and loads its manifest. A missing
+  // manifest is an empty store; an unreadable or corrupt one logs a warning
+  // and also yields an empty store — never an error, because losing a cache
+  // must not lose the run. IoError only when the directory itself cannot be
+  // created.
+  static Result<CheckpointStore> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Atomically writes `content` as `stage`'s artifact and records it in the
+  // manifest (also rewritten atomically). Overwrites any previous artifact
+  // for the stage. Failpoint: "checkpoint/write".
+  Status Put(const std::string& stage, const std::string& fingerprint,
+             const std::string& content);
+
+  // Returns the artifact content when `stage` is present, its recorded
+  // fingerprint equals `fingerprint`, and the content passes its size and
+  // checksum gates. NotFound for absent or fingerprint-stale entries;
+  // FailedPrecondition for corruption; IoError for unreadable files.
+  // Callers treat every failure as "recompute". Failpoint: "checkpoint/read".
+  Result<std::string> Get(const std::string& stage,
+                          const std::string& fingerprint) const;
+
+  bool Has(const std::string& stage) const {
+    return entries_.count(stage) > 0;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string ManifestPath() const;
+  std::string ArtifactPath(const CheckpointEntry& entry) const;
+  Status WriteManifest() const;
+  void LoadManifest();
+
+  std::string dir_;
+  std::map<std::string, CheckpointEntry> entries_;  // keyed by stage
+};
+
+}  // namespace emx
+
+#endif  // EMX_WORKFLOW_CHECKPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "src/core/failpoint.h"
+
 namespace emx {
 
 void EmWorkflow::SetMatcher(std::shared_ptr<MlMatcher> matcher,
@@ -17,23 +19,24 @@ void EmWorkflow::SetExecutor(const ExecutorContext& ctx) {
   if (matcher_) matcher_->set_executor(exec_ctx_);
 }
 
-Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
-                                          const Table& right) const {
-  WorkflowRunResult out;
+Result<CandidateSet> EmWorkflow::RunPositiveRules(const Table& left,
+                                                  const Table& right) const {
+  EMX_FAILPOINT("workflow/positive_rules");
+  if (positive_rules_.empty()) return CandidateSet();
+  return ApplyRulesCartesian(positive_rules_, left, right);
+}
 
-  // Stage 1: sure matches from positive rules.
-  if (!positive_rules_.empty()) {
-    EMX_ASSIGN_OR_RETURN(out.sure_matches,
-                         ApplyRulesCartesian(positive_rules_, left, right));
-  }
-
-  // Stage 2: blocking; the candidate set always includes the sure matches
-  // (the paper folds M1 into blocking so rule-satisfying pairs cannot be
-  // lost, §7 step 1). The blockers are independent of one another, so they
-  // fan out across the executor; the union below walks their results in
-  // registration order, a deterministic merge into C2. Each blocker also
-  // receives the executor for its own internal chunking (nested calls
-  // serialize on the worker they land on).
+Result<CandidateSet> EmWorkflow::RunBlocking(
+    const Table& left, const Table& right,
+    const CandidateSet& sure_matches) const {
+  EMX_FAILPOINT("workflow/block");
+  // The candidate set always includes the sure matches (the paper folds M1
+  // into blocking so rule-satisfying pairs cannot be lost, §7 step 1). The
+  // blockers are independent of one another, so they fan out across the
+  // executor; the union below walks their results in registration order, a
+  // deterministic merge into C2. Each blocker also receives the executor
+  // for its own internal chunking (nested calls serialize on the worker
+  // they land on).
   std::vector<std::optional<Result<CandidateSet>>> blocked(blockers_.size());
   exec_ctx_.get().ParallelFor(
       0, blockers_.size(), /*grain=*/1, [&](size_t lo, size_t hi) {
@@ -41,39 +44,58 @@ Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
           blocked[b] = blockers_[b]->Block(left, right, exec_ctx_);
         }
       });
-  out.candidates = out.sure_matches;
+  CandidateSet candidates = sure_matches;
   for (std::optional<Result<CandidateSet>>& c : blocked) {
     if (!c->ok()) return c->status();
-    out.candidates = CandidateSet::Union(out.candidates, **c);
+    candidates = CandidateSet::Union(candidates, **c);
   }
+  return candidates;
+}
 
-  // Stage 3: ML matching on C2 − C1.
+Result<CandidateSet> EmWorkflow::RunMatching(
+    const Table& left, const Table& right,
+    const CandidateSet& ml_input) const {
+  EMX_FAILPOINT("workflow/match");
+  if (matcher_ == nullptr || ml_input.empty()) return CandidateSet();
+  EMX_ASSIGN_OR_RETURN(
+      FeatureMatrix m,
+      VectorizePairs(left, right, ml_input, features_, exec_ctx_));
+  EMX_RETURN_IF_ERROR(imputer_.Transform(m));
+  std::vector<int> pred = matcher_->Predict(m.rows);
+  std::vector<RecordPair> positives;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1) positives.push_back(ml_input[i]);
+  }
+  return CandidateSet(std::move(positives));
+}
+
+Result<CandidateSet> EmWorkflow::RunNegativeRules(
+    const Table& left, const Table& right, const CandidateSet& ml_predicted,
+    CandidateSet* flipped) const {
+  EMX_FAILPOINT("workflow/negative_rules");
+  // Negative rules flip ML matches only — sure matches are, by the UMETRICS
+  // team's definition, matches (Figure 10 applies the rules to R1/R2, not
+  // to C1/D1).
+  if (negative_rules_.empty() || ml_predicted.empty()) {
+    if (flipped != nullptr) *flipped = CandidateSet();
+    return ml_predicted;
+  }
+  return FilterWithNegativeRules(negative_rules_, left, right, ml_predicted,
+                                 flipped);
+}
+
+Result<WorkflowRunResult> EmWorkflow::Run(const Table& left,
+                                          const Table& right) const {
+  WorkflowRunResult out;
+  EMX_ASSIGN_OR_RETURN(out.sure_matches, RunPositiveRules(left, right));
+  EMX_ASSIGN_OR_RETURN(out.candidates,
+                       RunBlocking(left, right, out.sure_matches));
   out.ml_input = CandidateSet::Minus(out.candidates, out.sure_matches);
-  if (matcher_ != nullptr && !out.ml_input.empty()) {
-    EMX_ASSIGN_OR_RETURN(
-        FeatureMatrix m,
-        VectorizePairs(left, right, out.ml_input, features_, exec_ctx_));
-    EMX_RETURN_IF_ERROR(imputer_.Transform(m));
-    std::vector<int> pred = matcher_->Predict(m.rows);
-    std::vector<RecordPair> positives;
-    for (size_t i = 0; i < pred.size(); ++i) {
-      if (pred[i] == 1) positives.push_back(out.ml_input[i]);
-    }
-    out.ml_predicted = CandidateSet(std::move(positives));
-  }
-
-  // Stage 4: negative rules flip ML matches only — sure matches are, by
-  // the UMETRICS team's definition, matches (Figure 10 applies the rules
-  // to R1/R2, not to C1/D1).
-  if (!negative_rules_.empty() && !out.ml_predicted.empty()) {
-    EMX_ASSIGN_OR_RETURN(
-        out.after_rules,
-        FilterWithNegativeRules(negative_rules_, left, right,
-                                out.ml_predicted, &out.flipped));
-  } else {
-    out.after_rules = out.ml_predicted;
-  }
-
+  EMX_ASSIGN_OR_RETURN(out.ml_predicted,
+                       RunMatching(left, right, out.ml_input));
+  EMX_ASSIGN_OR_RETURN(
+      out.after_rules,
+      RunNegativeRules(left, right, out.ml_predicted, &out.flipped));
   out.final_matches = CandidateSet::Union(out.sure_matches, out.after_rules);
   out.provenance.Add(out.sure_matches, "sure_rule");
   out.provenance.Add(out.after_rules, "ml");

@@ -76,8 +76,31 @@ class EmWorkflow {
     return negative_rules_;
   }
 
-  // Executes all configured stages on one table pair.
+  // Executes all configured stages on one table pair. Composed from the
+  // per-stage entry points below; PipelineRunner (pipeline_runner.h) drives
+  // the same stages with checkpoint/resume in between. Each stage carries a
+  // fault-injection failpoint ("workflow/positive_rules", "workflow/block",
+  // "workflow/match", "workflow/negative_rules") at its boundary.
   Result<WorkflowRunResult> Run(const Table& left, const Table& right) const;
+
+  // Stage 1: sure matches (C1) from the positive rules; empty when none are
+  // configured.
+  Result<CandidateSet> RunPositiveRules(const Table& left,
+                                        const Table& right) const;
+  // Stage 2: the candidate set C2 = (union of blockers) ∪ `sure_matches`.
+  Result<CandidateSet> RunBlocking(const Table& left, const Table& right,
+                                   const CandidateSet& sure_matches) const;
+  // Stage 3: ML predictions R over `ml_input` (C2 − C1); empty when no
+  // matcher is installed or the input is empty.
+  Result<CandidateSet> RunMatching(const Table& left, const Table& right,
+                                   const CandidateSet& ml_input) const;
+  // Stage 4: S = R − negative-rule firings; `flipped` (may be null)
+  // receives R ∩ firings. Pass-through when no negative rules configured.
+  Result<CandidateSet> RunNegativeRules(const Table& left, const Table& right,
+                                        const CandidateSet& ml_predicted,
+                                        CandidateSet* flipped) const;
+
+  bool has_matcher() const { return matcher_ != nullptr; }
 
   // A human-readable description of the configured stages — the §12/§13
   // "how to represent the EM workflow effectively" concern: the packaged

@@ -1,0 +1,55 @@
+#ifndef EMX_WORKFLOW_PIPELINE_RUNNER_H_
+#define EMX_WORKFLOW_PIPELINE_RUNNER_H_
+
+#include <string>
+
+#include "src/core/result.h"
+#include "src/workflow/em_workflow.h"
+
+namespace emx {
+
+struct PipelineOptions {
+  // Directory for stage checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+  // Reuse checkpointed stages whose fingerprints match instead of
+  // recomputing them. Without it an existing checkpoint directory is
+  // overwritten as stages complete.
+  bool resume = false;
+};
+
+// Drives an EmWorkflow stage by stage with checkpoint/resume.
+//
+// After each stage (sure_matches → candidates → ml_predicted →
+// flipped/after_rules) the stage's output is persisted to the checkpoint
+// store under a fingerprint chaining the input tables, the workflow
+// configuration, and every upstream artifact. A rerun with `resume` skips
+// any stage whose fingerprint matches a stored, checksum-clean artifact —
+// so a run killed at any point restarts from the last completed stage and,
+// because every stage is deterministic at any thread count, produces
+// bit-identical final_matches and provenance to an uninterrupted run.
+//
+// Robustness posture:
+//  - A truncated, corrupted, or stale checkpoint logs a warning and
+//    recomputes the stage; it can never fail the run.
+//  - A FAILED checkpoint WRITE fails the run (the caller asked for
+//    durability it isn't getting).
+//  - Exceptions escaping a stage (e.g. an injected executor-dispatch fault)
+//    are contained and surfaced as an Internal Status, preserving the
+//    library's no-throw API boundary.
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(const EmWorkflow* workflow,
+                          PipelineOptions options = {});
+
+  // Executes the workflow over one table pair. Bit-identical to
+  // workflow->Run(left, right) whether or not stages were resumed.
+  Result<WorkflowRunResult> Run(const Table& left, const Table& right);
+
+ private:
+  const EmWorkflow* workflow_;  // not owned
+  PipelineOptions options_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_WORKFLOW_PIPELINE_RUNNER_H_

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -62,7 +63,10 @@ TEST(CliTest, ProfilePrintsColumnStats) {
 TEST(CliTest, ProfileMissingFileFails) {
   CliResult r = RunEmx({"profile", "/nonexistent.csv"});
   EXPECT_EQ(r.code, 1);
-  EXPECT_NE(r.err.find("IoError"), std::string::npos);
+  // A missing file is NotFound (deterministic), not a transient IoError —
+  // and the diagnostic names the offending path.
+  EXPECT_NE(r.err.find("NotFound"), std::string::npos);
+  EXPECT_NE(r.err.find("/nonexistent.csv"), std::string::npos);
 }
 
 TEST(CliTest, BlockAeWritesPairs) {
@@ -169,6 +173,112 @@ TEST(CliTest, EstimateRequiresBothFlags) {
   CliResult r = RunEmx({"estimate", "--matches=x.csv"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+// --- emx run: end-to-end pipeline with checkpoint/resume -------------------------
+
+std::string FreshRunDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/emx_cli_run_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+// Shared fixtures for the run tests: same-city pairs are matches, and the
+// labels are cleanly separable by the City exact-match feature.
+struct RunFixture {
+  std::string left, right, labels, out_path;
+};
+
+RunFixture MakeRunFixture(const std::string& tag) {
+  RunFixture f;
+  f.left = WriteTemp("run_l_" + tag + ".csv", kLeftCsv);
+  f.right = WriteTemp("run_r_" + tag + ".csv", kRightCsv);
+  f.labels = WriteTemp(
+      "run_lab_" + tag + ".csv",
+      "left_id,right_id,label\n0,0,yes\n0,1,no\n2,0,no\n2,1,yes\n");
+  f.out_path = ::testing::TempDir() + "/emx_cli_run_out_" + tag + ".csv";
+  return f;
+}
+
+std::vector<std::string> RunArgs(const RunFixture& f) {
+  return {"run",          f.left,
+          f.right,        "--method=ae",
+          "--left-attr=City", "--labels=" + f.labels,
+          "--matcher=tree",   "--exclude=RecordId",
+          "--out=" + f.out_path};
+}
+
+TEST(CliTest, RunEndToEndWritesProvenancedMatches) {
+  RunFixture f = MakeRunFixture("e2e");
+  CliResult r = RunEmx(RunArgs(f));
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("final matches"), std::string::npos);
+  auto matches = ReadCsvFile(f.out_path);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->num_rows(), 2u);
+  ASSERT_TRUE(matches->schema().Contains("provenance"));
+  EXPECT_EQ(matches->at(0, "provenance").AsString(), "ml");
+}
+
+TEST(CliTest, RunRequiresLabels) {
+  RunFixture f = MakeRunFixture("nolabels");
+  CliResult r = RunEmx({"run", f.left, f.right, "--left-attr=City"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--labels"), std::string::npos);
+}
+
+TEST(CliTest, RunFailPointAbortsThenResumeIsByteIdentical) {
+  RunFixture f = MakeRunFixture("resume");
+  std::string ckpt = FreshRunDir("resume");
+
+  // Uninterrupted reference output.
+  RunFixture ref = MakeRunFixture("resume_ref");
+  ASSERT_EQ(RunEmx(RunArgs(ref)).code, 0);
+  const std::string want = ReadFileBytes(ref.out_path);
+  ASSERT_FALSE(want.empty());
+
+  // Killed at the match stage: the CLI reports the injected failure...
+  std::vector<std::string> killed_args = RunArgs(f);
+  killed_args.push_back("--checkpoint-dir=" + ckpt);
+  killed_args.push_back("--fail-point=workflow/match:error(IoError),count=1");
+  CliResult killed = RunEmx(killed_args);
+  EXPECT_EQ(killed.code, 1);
+  EXPECT_NE(killed.err.find("IoError"), std::string::npos);
+
+  // ...and the resumed run completes with byte-identical output.
+  std::vector<std::string> resume_args = RunArgs(f);
+  resume_args.push_back("--checkpoint-dir=" + ckpt);
+  resume_args.push_back("--resume");
+  CliResult resumed = RunEmx(resume_args);
+  EXPECT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_EQ(ReadFileBytes(f.out_path), want);
+}
+
+TEST(CliTest, RunResumeReusesTrainedModel) {
+  RunFixture f = MakeRunFixture("model");
+  std::string ckpt = FreshRunDir("model");
+  std::vector<std::string> args = RunArgs(f);
+  args.push_back("--checkpoint-dir=" + ckpt);
+  ASSERT_EQ(RunEmx(args).code, 0);
+  args.push_back("--resume");
+  CliResult resumed = RunEmx(args);
+  EXPECT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("resumed trained model"), std::string::npos);
+}
+
+TEST(CliTest, RunRejectsBadFailPointSpec) {
+  RunFixture f = MakeRunFixture("badspec");
+  std::vector<std::string> args = RunArgs(f);
+  args.push_back("--fail-point=no-colon-here");
+  CliResult r = RunEmx(args);
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("InvalidArgument"), std::string::npos);
 }
 
 }  // namespace

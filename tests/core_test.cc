@@ -62,6 +62,36 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
 }
 
+TEST(StatusCodeTest, FromStringRoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kIoError, StatusCode::kParseError,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kNotImplemented}) {
+    StatusCode parsed;
+    ASSERT_TRUE(StatusCodeFromString(StatusCodeToString(code), &parsed));
+    EXPECT_EQ(parsed, code);
+  }
+}
+
+TEST(StatusCodeTest, FromStringRejectsUnknownNames) {
+  StatusCode parsed = StatusCode::kInternal;
+  EXPECT_FALSE(StatusCodeFromString("NotACode", &parsed));
+  EXPECT_FALSE(StatusCodeFromString("ioerror", &parsed));  // case-sensitive
+  EXPECT_FALSE(StatusCodeFromString("", &parsed));
+  EXPECT_EQ(parsed, StatusCode::kInternal);  // untouched on failure
+}
+
+TEST(StatusTest, FromCodeBuildsRuntimeChosenErrors) {
+  Status s = Status::FromCode(StatusCode::kIoError, "injected");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "injected");
+  // kOk is not a legal error code; it degrades to Internal.
+  Status bad = Status::FromCode(StatusCode::kOk, "oops");
+  EXPECT_EQ(bad.code(), StatusCode::kInternal);
+}
+
 // --- Result ---------------------------------------------------------------
 
 TEST(ResultTest, HoldsValue) {
@@ -101,6 +131,18 @@ TEST(ResultTest, AssignOrReturnMacro) {
   };
   EXPECT_EQ(*g(false), 20);
   EXPECT_EQ(g(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// Accessing the value of an errored Result aborts, but only after logging
+// the underlying status to stderr — a blind SIGABRT with no indication of
+// WHICH error was ignored is undebuggable in a long pipeline run.
+TEST(ResultDeathTest, ValueOnErrorLogsStatusBeforeAbort) {
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::IoError("disk on fire"));
+        *r;
+      },
+      "errored Result.*IoError: disk on fire");
 }
 
 // --- RandomEngine ----------------------------------------------------------

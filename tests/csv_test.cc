@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -110,6 +111,54 @@ TEST(CsvReadTest, UnterminatedQuoteIsParseError) {
   EXPECT_EQ(t.status().code(), StatusCode::kParseError);
 }
 
+// --- malformed-input corpus: diagnostics must locate the defect ------------------
+
+TEST(CsvMalformedTest, RaggedRowNamesRecordLineAndFieldCounts) {
+  // Record 3 (line 3) has 3 fields where the header promised 2.
+  auto t = ReadCsvString("a,b\n1,2\n3,4,5\n6,7\n");
+  ASSERT_FALSE(t.ok());
+  const std::string& msg = t.status().message();
+  EXPECT_NE(msg.find("record 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3 fields"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 2"), std::string::npos) << msg;
+}
+
+TEST(CsvMalformedTest, ShortRowIsAlsoLocated) {
+  auto t = ReadCsvString("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(t.ok());
+  const std::string& msg = t.status().message();
+  EXPECT_NE(msg.find("record 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 fields"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 3"), std::string::npos) << msg;
+}
+
+TEST(CsvMalformedTest, QuotedNewlinesDoNotSkewLineNumbers) {
+  // The quoted field on line 2 spans lines 2-3, so the ragged record 3
+  // physically starts on line 4.
+  auto t = ReadCsvString("a,b\n\"multi\nline\",x\n1,2,3\n");
+  ASSERT_FALSE(t.ok());
+  const std::string& msg = t.status().message();
+  EXPECT_NE(msg.find("record 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+}
+
+TEST(CsvMalformedTest, UnterminatedQuoteReportsOpeningLine) {
+  auto t = ReadCsvString("a,b\n1,2\n3,\"never closed...\nand more\n");
+  ASSERT_FALSE(t.ok());
+  const std::string& msg = t.status().message();
+  EXPECT_NE(msg.find("unterminated quoted field"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(CsvMalformedTest, TruncatedMidRecordIsRagged) {
+  // Input cut off mid-record (no trailing newline, missing fields).
+  auto t = ReadCsvString("a,b,c\n1,2,3\n4,5");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("record 3"), std::string::npos);
+}
+
 TEST(CsvReadTest, EmptyInputYieldsEmptyTable) {
   auto t = ReadCsvString("");
   ASSERT_TRUE(t.ok());
@@ -161,10 +210,27 @@ TEST(CsvFileTest, WriteAndReadBack) {
   std::remove(path.c_str());
 }
 
-TEST(CsvFileTest, MissingFileIsIoError) {
+TEST(CsvFileTest, MissingFileIsNotFoundWithPathAndErrno) {
   auto t = ReadCsvFile("/nonexistent/path/file.csv");
   EXPECT_FALSE(t.ok());
-  EXPECT_EQ(t.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(t.status().message().find("/nonexistent/path/file.csv"),
+            std::string::npos);
+  // strerror(ENOENT) detail.
+  EXPECT_NE(t.status().message().find("No such file"), std::string::npos);
+}
+
+TEST(CsvFileTest, ParseErrorFromFileIsPrefixedWithPath) {
+  std::string path = ::testing::TempDir() + "/emx_csv_ragged.csv";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "a,b\n1,2,3\n";
+  }
+  auto t = ReadCsvFile(path);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // Property: random printable tables round-trip exactly.

@@ -1,0 +1,230 @@
+#include "src/core/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/result.h"
+
+namespace emx {
+namespace {
+
+// Each test arms points under its own names and disarms everything on exit,
+// because the registry is process-global.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::Global().DisarmAll(); }
+};
+
+Result<int> GuardedFunction() {
+  EMX_FAILPOINT("fp_test/macro");
+  return 7;
+}
+
+TEST_F(FailPointTest, DisarmedCheckIsOk) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/disarmed");
+  EXPECT_FALSE(fp.armed());
+  EXPECT_TRUE(fp.Check().ok());
+  // Disarmed checks don't count as hits — the fast path touches nothing.
+  EXPECT_EQ(fp.hits(), 0u);
+  EXPECT_EQ(fp.fires(), 0u);
+}
+
+TEST_F(FailPointTest, ErrorModeFiresEveryHit) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/error");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kError;
+  cfg.code = StatusCode::kIoError;
+  fp.Arm(cfg);
+  for (int i = 0; i < 3; ++i) {
+    Status s = fp.Check();
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    EXPECT_NE(s.message().find("fp_test/error"), std::string::npos);
+  }
+  EXPECT_EQ(fp.hits(), 3u);
+  EXPECT_EQ(fp.fires(), 3u);
+  fp.Disarm();
+  EXPECT_TRUE(fp.Check().ok());
+}
+
+TEST_F(FailPointTest, CountLimitsFiresThenAutoDisarms) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/count");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kError;
+  cfg.count = 2;
+  fp.Arm(cfg);
+  EXPECT_FALSE(fp.Check().ok());
+  EXPECT_FALSE(fp.Check().ok());
+  // Exhausted: auto-disarmed, every later check passes.
+  EXPECT_FALSE(fp.armed());
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_EQ(fp.fires(), 2u);
+}
+
+TEST_F(FailPointTest, OffModeCountsHitsWithoutFiring) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/off");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kOff;
+  fp.Arm(cfg);
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_EQ(fp.hits(), 2u);
+  EXPECT_EQ(fp.fires(), 0u);
+}
+
+TEST_F(FailPointTest, ProbModeIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/prob");
+    FailPointConfig cfg;
+    cfg.mode = FailPointMode::kProb;
+    cfg.probability = 0.5;
+    cfg.seed = seed;
+    fp.Arm(cfg);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!fp.Check().ok());
+    fp.Disarm();
+    return fired;
+  };
+  std::vector<bool> a = fire_pattern(123);
+  std::vector<bool> b = fire_pattern(123);
+  EXPECT_EQ(a, b);
+  // p=0.5 over 64 draws fires at least once and passes at least once.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FailPointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/prob01");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kProb;
+  cfg.probability = 0.0;
+  fp.Arm(cfg);
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(fp.Check().ok());
+  cfg.probability = 1.0;
+  fp.Arm(cfg);
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(fp.Check().ok());
+}
+
+TEST_F(FailPointTest, ArmResetsCountersAndCount) {
+  FailPoint& fp = FailPointRegistry::Global().GetOrCreate("fp_test/rearm");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kError;
+  cfg.count = 1;
+  fp.Arm(cfg);
+  EXPECT_FALSE(fp.Check().ok());
+  EXPECT_TRUE(fp.Check().ok());  // exhausted
+  fp.Arm(cfg);                   // re-arming restores the budget
+  EXPECT_FALSE(fp.Check().ok());
+}
+
+TEST_F(FailPointTest, MacroReturnsInjectedStatusFromEnclosingFunction) {
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("fp_test/macro:error(ParseError)")
+                  .ok());
+  Result<int> r = GuardedFunction();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  FailPointRegistry::Global().DisarmAll();
+  EXPECT_EQ(*GuardedFunction(), 7);
+}
+
+// --- spec parsing ----------------------------------------------------------------
+
+TEST_F(FailPointTest, ArmFromSpecErrorWithCount) {
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("fp_test/spec:error(IoError),count=2")
+                  .ok());
+  FailPoint* fp = FailPointRegistry::Global().Find("fp_test/spec");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_TRUE(fp->armed());
+  EXPECT_EQ(fp->Check().code(), StatusCode::kIoError);
+  EXPECT_EQ(fp->Check().code(), StatusCode::kIoError);
+  EXPECT_TRUE(fp->Check().ok());
+}
+
+TEST_F(FailPointTest, ArmFromSpecOffAndProb) {
+  ASSERT_TRUE(FailPointRegistry::Global().ArmFromSpec("fp_test/o:off").ok());
+  EXPECT_TRUE(FailPointRegistry::Global().Find("fp_test/o")->Check().ok());
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("fp_test/p:prob(1.0),seed=9,count=1")
+                  .ok());
+  FailPoint* p = FailPointRegistry::Global().Find("fp_test/p");
+  EXPECT_FALSE(p->Check().ok());
+  EXPECT_TRUE(p->Check().ok());  // count exhausted
+}
+
+TEST_F(FailPointTest, ArmFromSpecRejectsBadSyntax) {
+  auto& reg = FailPointRegistry::Global();
+  EXPECT_EQ(reg.ArmFromSpec("no-colon").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.ArmFromSpec("x:bogus()").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.ArmFromSpec("x:error(NotACode)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.ArmFromSpec("x:error(Ok)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.ArmFromSpec("x:prob(2.0)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.ArmFromSpec("x:error(IoError),count=zero").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailPointTest, ArmFromSpecListArmsEverySegment) {
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpecList(
+                      "fp_test/l1:error(IoError);;fp_test/l2:error(NotFound)")
+                  .ok());
+  auto armed = FailPointRegistry::Global().ArmedNames();
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "fp_test/l1"), armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "fp_test/l2"), armed.end());
+  EXPECT_EQ(FailPointRegistry::Global().Find("fp_test/l2")->Check().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailPointTest, ArmFromEnvReadsEmxFailpoints) {
+  ::setenv("EMX_FAILPOINTS", "fp_test/env:error(Internal)", 1);
+  Status s = FailPointRegistry::Global().ArmFromEnv();
+  ::unsetenv("EMX_FAILPOINTS");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  FailPoint* fp = FailPointRegistry::Global().Find("fp_test/env");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->Check().code(), StatusCode::kInternal);
+}
+
+TEST_F(FailPointTest, DisarmAllDisarmsEverything) {
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpecList("fp_test/d1:error(IoError);fp_test/d2:off")
+                  .ok());
+  FailPointRegistry::Global().DisarmAll();
+  EXPECT_TRUE(FailPointRegistry::Global().ArmedNames().empty());
+  EXPECT_TRUE(FailPointRegistry::Global().Find("fp_test/d1")->Check().ok());
+}
+
+// Hammering one armed point from many threads must neither crash nor fire
+// more than `count` times (the budget is decremented under the lock).
+TEST_F(FailPointTest, ConcurrentChecksRespectCount) {
+  FailPoint& fp =
+      FailPointRegistry::Global().GetOrCreate("fp_test/concurrent");
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kError;
+  cfg.count = 5;
+  fp.Arm(cfg);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (!fp.Check().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 5);
+  EXPECT_EQ(fp.fires(), 5u);
+}
+
+}  // namespace
+}  // namespace emx

@@ -1,0 +1,212 @@
+#include "src/core/retry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/failpoint.h"
+#include "src/table/csv.h"
+
+namespace emx {
+namespace {
+
+using std::chrono::milliseconds;
+
+// A fake clock: the policy's injectable sleep records each backoff instead
+// of waiting, so the tests assert the exact exponential schedule in
+// microseconds of wall time.
+RetryPolicy RecordingPolicy(std::vector<milliseconds>* slept,
+                            int max_attempts = 3) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff = milliseconds(10);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = milliseconds(5000);
+  policy.sleep = [slept](milliseconds d) { slept->push_back(d); };
+  return policy;
+}
+
+class RetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(RetryTest, OnlyIoErrorIsRetryable) {
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kIoError));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInternal));
+}
+
+TEST_F(RetryTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(10);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = milliseconds(35);
+  EXPECT_EQ(BackoffForAttempt(policy, 2), milliseconds(10));
+  EXPECT_EQ(BackoffForAttempt(policy, 3), milliseconds(20));
+  EXPECT_EQ(BackoffForAttempt(policy, 4), milliseconds(35));  // capped (40)
+  EXPECT_EQ(BackoffForAttempt(policy, 5), milliseconds(35));  // capped (80)
+}
+
+TEST_F(RetryTest, SucceedsFirstAttemptWithoutSleeping) {
+  std::vector<milliseconds> slept;
+  RetryPolicy policy = RecordingPolicy(&slept);
+  int calls = 0;
+  Status s = RetryStatus(policy, "noop", [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST_F(RetryTest, RetriesIoErrorWithExponentialBackoff) {
+  std::vector<milliseconds> slept;
+  RetryPolicy policy = RecordingPolicy(&slept);
+  int calls = 0;
+  Status s = RetryStatus(policy, "flaky", [&] {
+    return ++calls < 3 ? Status::IoError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept, (std::vector<milliseconds>{milliseconds(10),
+                                              milliseconds(20)}));
+}
+
+TEST_F(RetryTest, GivesUpAfterMaxAttempts) {
+  std::vector<milliseconds> slept;
+  RetryPolicy policy = RecordingPolicy(&slept, /*max_attempts=*/3);
+  int calls = 0;
+  Status s = RetryStatus(policy, "doomed", [&] {
+    ++calls;
+    return Status::IoError("still broken");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST_F(RetryTest, NonRetryableCodeFailsAfterOneAttempt) {
+  std::vector<milliseconds> slept;
+  RetryPolicy policy = RecordingPolicy(&slept);
+  int calls = 0;
+  Status s = RetryStatus(policy, "deterministic", [&] {
+    ++calls;
+    return Status::ParseError("bad syntax");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST_F(RetryTest, ResultVariantReturnsValueAfterRetries) {
+  std::vector<milliseconds> slept;
+  RetryPolicy policy = RecordingPolicy(&slept);
+  int calls = 0;
+  Result<int> r = Retry<int>(policy, "flaky-value", [&]() -> Result<int> {
+    if (++calls < 2) return Status::IoError("transient");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(slept, std::vector<milliseconds>{milliseconds(10)});
+}
+
+// The acceptance-criteria scenario end to end: a count=2 IoError failpoint on
+// csv/read makes the first two read attempts fail; the retry layer backs off
+// 10ms then 20ms on the fake clock and the third attempt parses the file.
+TEST_F(RetryTest, CsvReadRetriesInjectedIoErrorThenSucceeds) {
+  std::string path = ::testing::TempDir() + "/emx_retry_read.csv";
+  ASSERT_TRUE(WriteCsvFile(*ReadCsvString("a,b\n1,2\n"), path).ok());
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("csv/read:error(IoError),count=2")
+                  .ok());
+  std::vector<milliseconds> slept;
+  CsvReadOptions options;
+  options.retry = RecordingPolicy(&slept);
+  Result<Table> t = ReadCsvFile(path, options);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(slept, (std::vector<milliseconds>{milliseconds(10),
+                                              milliseconds(20)}));
+  FailPoint* fp = FailPointRegistry::Global().Find("csv/read");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->fires(), 2u);
+}
+
+// With more injected failures than attempts, the retry budget is exhausted
+// and the last injected IoError surfaces.
+TEST_F(RetryTest, CsvReadExhaustsRetryBudget) {
+  std::string path = ::testing::TempDir() + "/emx_retry_read2.csv";
+  ASSERT_TRUE(WriteCsvFile(*ReadCsvString("a,b\n1,2\n"), path).ok());
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("csv/read:error(IoError),count=5")
+                  .ok());
+  std::vector<milliseconds> slept;
+  CsvReadOptions options;
+  options.retry = RecordingPolicy(&slept);
+  Result<Table> t = ReadCsvFile(path, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+// A missing file is NotFound — deterministic, not retried.
+TEST_F(RetryTest, CsvReadMissingFileIsNotRetried) {
+  std::vector<milliseconds> slept;
+  CsvReadOptions options;
+  options.retry = RecordingPolicy(&slept);
+  Result<Table> t =
+      ReadCsvFile(::testing::TempDir() + "/emx_no_such_file.csv", options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(slept.empty());
+}
+
+// A malformed file is ParseError — deterministic, one attempt only even
+// though the read itself succeeded.
+TEST_F(RetryTest, CsvParseErrorIsNotRetried) {
+  std::string path = ::testing::TempDir() + "/emx_retry_bad.csv";
+  {
+    // A ragged CSV, written as raw bytes (WriteCsvFile can't produce one).
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char* bad = "a,b\n1,2,3\n";
+    fwrite(bad, 1, strlen(bad), f);
+    fclose(f);
+  }
+  std::vector<milliseconds> slept;
+  CsvReadOptions options;
+  options.retry = RecordingPolicy(&slept);
+  Result<Table> t = ReadCsvFile(path, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(slept.empty());
+}
+
+// csv/write is also instrumented and retried.
+TEST_F(RetryTest, CsvWriteRetriesInjectedIoError) {
+  std::string path = ::testing::TempDir() + "/emx_retry_write.csv";
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("csv/write:error(IoError),count=1")
+                  .ok());
+  std::vector<milliseconds> slept;
+  CsvWriteOptions options;
+  options.retry = RecordingPolicy(&slept);
+  Status s = WriteCsvFile(*ReadCsvString("a\nx\n"), path, options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(slept, std::vector<milliseconds>{milliseconds(10)});
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace emx
