@@ -1,6 +1,7 @@
 #ifndef EMX_BLOCK_BLOCKER_H_
 #define EMX_BLOCK_BLOCKER_H_
 
+#include <memory>
 #include <string>
 
 #include "src/block/candidate_set.h"
@@ -9,6 +10,8 @@
 #include "src/table/table.h"
 
 namespace emx {
+
+class PrepCache;
 
 // A blocker consumes two tables and emits the candidate pairs that survive
 // its heuristic (everything it drops is presumed a non-match). Workflows
@@ -33,6 +36,12 @@ class Blocker {
 
   // Human-readable description for provenance/logging.
   virtual std::string name() const = 0;
+
+  // Installs a shared prep cache so several blockers over the same
+  // (attribute, tokenizer, normalization) reuse one tokenized-column pass
+  // and one token-id universe. No-op for blockers that don't tokenize;
+  // EmWorkflow wires its workflow-scoped cache into every added blocker.
+  virtual void set_prep_cache(std::shared_ptr<PrepCache> /*cache*/) {}
 };
 
 // Single-table deduplication support (the "matching tuples within a single

@@ -1,11 +1,13 @@
 #ifndef EMX_BLOCK_OVERLAP_BLOCKER_H_
 #define EMX_BLOCK_OVERLAP_BLOCKER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/block/blocker.h"
+#include "src/prep/prepared_column.h"
 #include "src/text/tokenizer.h"
 
 namespace emx {
@@ -23,9 +25,12 @@ struct OverlapBlockerOptions {
 // Overlap blocker: a pair survives iff its token sets share at least
 // `min_overlap` tokens (§7 step 2, threshold K; K=3 in the paper).
 //
-// Implementation: inverted index over the right table's tokens; left
-// records accumulate per-right-record overlap counts touching only records
-// that share at least one token — never the full Cartesian product.
+// Implementation: both columns are prepped once into sorted token-id spans
+// (via the shared PrepCache when one is installed), then an inverted index
+// over the right table's token ids — a flat CSR layout, postings per id —
+// is probed per left record into a dense per-right-record count array with
+// a touched-list for sparse reset; never the full Cartesian product, and
+// no per-probe hashing or allocation.
 class OverlapBlocker : public Blocker {
  public:
   OverlapBlocker(OverlapBlockerOptions options, size_t min_overlap,
@@ -37,10 +42,15 @@ class OverlapBlocker : public Blocker {
 
   std::string name() const override;
 
+  void set_prep_cache(std::shared_ptr<PrepCache> cache) override {
+    prep_cache_ = std::move(cache);
+  }
+
  private:
   OverlapBlockerOptions options_;
   size_t min_overlap_;
   std::shared_ptr<Tokenizer> tokenizer_;  // defaults to WhitespaceTokenizer
+  std::shared_ptr<PrepCache> prep_cache_;  // optional, workflow-scoped
 };
 
 // Overlap-coefficient blocker: survives iff
@@ -57,18 +67,51 @@ class OverlapCoefficientBlocker : public Blocker {
 
   std::string name() const override;
 
+  void set_prep_cache(std::shared_ptr<PrepCache> cache) override {
+    prep_cache_ = std::move(cache);
+  }
+
  private:
   OverlapBlockerOptions options_;
   double threshold_;
   std::shared_ptr<Tokenizer> tokenizer_;
+  std::shared_ptr<PrepCache> prep_cache_;
 };
 
 namespace internal_block {
 
 // Normalizes and tokenizes every value of `column` according to `options`.
+// Legacy string-token representation — superseded by PrepCache in the hot
+// path, kept as the equivalence oracle for tests and before/after benches.
 std::vector<std::vector<std::string>> TokenizeColumn(
     const std::vector<Value>& column, const OverlapBlockerOptions& options,
     const Tokenizer& tokenizer);
+
+// `keep(left_size, right_size, overlap)` decides whether a probed pair
+// becomes a candidate; sizes are token counts (per-occurrence, i.e. set
+// sizes under unique tokenizers).
+using OverlapKeepFn = std::function<bool(size_t, size_t, size_t)>;
+
+// Legacy string-keyed overlap join (unordered_map inverted index,
+// per-probe hashing). Equivalence oracle only.
+CandidateSet OverlapJoinStrings(
+    const std::vector<std::vector<std::string>>& left_tokens,
+    const std::vector<std::vector<std::string>>& right_tokens,
+    const OverlapKeepFn& keep, const ExecutorContext& ctx);
+
+// Token-id overlap join over prepared columns sharing one interner: CSR
+// inverted index over right-side ids, rare-token-first probes, dense count
+// array + touched-list per chunk. Produces the identical candidate set to
+// OverlapJoinStrings over the same tokenization.
+CandidateSet OverlapJoinIds(const PreparedColumn& left,
+                            const PreparedColumn& right,
+                            const OverlapKeepFn& keep,
+                            const ExecutorContext& ctx);
+
+// PrepOptions equivalent of a blocker-options normalization.
+inline PrepOptions ToPrepOptions(const OverlapBlockerOptions& options) {
+  return {options.lowercase, options.strip_punctuation};
+}
 
 }  // namespace internal_block
 

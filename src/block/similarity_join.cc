@@ -33,28 +33,43 @@ Result<CandidateSet> JaccardJoinBlocker::BlockWithStats(
                        left.ColumnByName(options_.left_attr));
   EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
                        right.ColumnByName(options_.right_attr));
-  auto lt = internal_block::TokenizeColumn(*lcol, options_, *tokenizer_);
-  auto rt = internal_block::TokenizeColumn(*rcol, options_, *tokenizer_);
+  // Prep both columns once into id spans over a shared interner (the
+  // workflow cache when installed, else a call-local one — kept alive here
+  // because the token-string snapshot below views into its interner).
+  std::shared_ptr<PrepCache> cache =
+      prep_cache_ ? prep_cache_ : std::make_shared<PrepCache>();
+  PrepOptions prep = internal_block::ToPrepOptions(options_);
+  auto lp = cache->Get(*lcol, prep, tokenizer_.get());
+  auto rp = cache->Get(*rcol, prep, tokenizer_.get());
+  std::vector<std::string_view> token_strings = cache->TokenStringsSnapshot();
 
   // Global token frequency over both sides; prefixes are ordered
-  // rarest-first so they discriminate maximally.
-  std::unordered_map<std::string, size_t> freq;
-  for (const auto& tokens : lt) {
-    for (const auto& t : tokens) ++freq[t];
+  // rarest-first so they discriminate maximally. Ties break on the token
+  // STRING (not the scheduling-dependent id), reproducing the legacy
+  // global order exactly — prefix sets, and therefore the verified-pair
+  // count, are identical to the string-path implementation.
+  std::vector<size_t> freq(token_strings.size(), 0);
+  for (size_t l = 0; l < lp->rows(); ++l) {
+    for (uint32_t id : lp->ids(l)) ++freq[id];
   }
-  for (const auto& tokens : rt) {
-    for (const auto& t : tokens) ++freq[t];
+  for (size_t r = 0; r < rp->rows(); ++r) {
+    for (uint32_t id : rp->ids(r)) ++freq[id];
   }
-  auto order_tokens = [&freq](std::vector<std::string>& tokens) {
-    std::sort(tokens.begin(), tokens.end(),
-              [&freq](const std::string& a, const std::string& b) {
-                size_t fa = freq[a], fb = freq[b];
-                if (fa != fb) return fa < fb;
-                return a < b;
-              });
+  auto ordered_ids = [&](const PreparedColumn& col) {
+    std::vector<std::vector<uint32_t>> out(col.rows());
+    for (size_t i = 0; i < col.rows(); ++i) {
+      IdSpan s = col.ids(i);
+      out[i].assign(s.begin(), s.end());
+      std::sort(out[i].begin(), out[i].end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (freq[a] != freq[b]) return freq[a] < freq[b];
+                  return token_strings[a] < token_strings[b];
+                });
+    }
+    return out;
   };
-  for (auto& tokens : lt) order_tokens(tokens);
-  for (auto& tokens : rt) order_tokens(tokens);
+  std::vector<std::vector<uint32_t>> lt = ordered_ids(*lp);
+  std::vector<std::vector<uint32_t>> rt = ordered_ids(*rp);
 
   // Prefix length for jaccard t and set size s: s - ceil(t*s) + 1.
   auto prefix_len = [this](size_t s) -> size_t {
@@ -64,8 +79,8 @@ Result<CandidateSet> JaccardJoinBlocker::BlockWithStats(
     return s - need + 1;
   };
 
-  // Index the right side's prefixes.
-  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  // Index the right side's prefixes (dense by id; postings in r order).
+  std::vector<std::vector<uint32_t>> index(token_strings.size());
   for (size_t r = 0; r < rt.size(); ++r) {
     size_t p = prefix_len(rt[r].size());
     for (size_t i = 0; i < p; ++i) {
@@ -73,36 +88,41 @@ Result<CandidateSet> JaccardJoinBlocker::BlockWithStats(
     }
   }
 
-  // Probe with left prefixes in parallel chunks; verify candidates
-  // exactly. Each chunk counts its own verifications; the per-chunk counts
-  // sum into `stats` after the merge, so the total is thread-count
-  // independent.
+  // Probe with left prefixes in parallel chunks; verify candidates exactly
+  // with the allocation-free merge kernel over the id-sorted spans. The
+  // per-left-record `seen` hash set becomes a dense stamp array with a
+  // touched-list reset. Each chunk counts its own verifications; the
+  // per-chunk counts sum into `stats` after the merge, so the total is
+  // thread-count independent.
+  size_t num_right = rp->rows();
   std::atomic<size_t> verified{0};
   std::vector<RecordPair> out = ctx.get().ParallelFlatMap(
       lt.size(), /*grain=*/0,
       [&](size_t lo, size_t hi) {
         std::vector<RecordPair> chunk;
-        std::unordered_set<uint32_t> seen;
+        std::vector<uint8_t> seen(num_right, 0);
+        std::vector<uint32_t> touched;
         size_t chunk_verified = 0;
         for (size_t l = lo; l < hi; ++l) {
-          seen.clear();
           size_t p = prefix_len(lt[l].size());
           for (size_t i = 0; i < p; ++i) {
-            auto it = index.find(lt[l][i]);
-            if (it == index.end()) continue;
-            for (uint32_t r : it->second) {
-              if (!seen.insert(r).second) continue;
+            for (uint32_t r : index[lt[l][i]]) {
+              if (seen[r]) continue;
+              seen[r] = 1;
+              touched.push_back(r);
               // Size filter: |x|·t <= |y| <= |x|/t is necessary for
               // jaccard >= t.
               double ls = static_cast<double>(lt[l].size());
               double rs = static_cast<double>(rt[r].size());
               if (rs < ls * threshold_ || rs > ls / threshold_) continue;
               ++chunk_verified;
-              if (JaccardSimilarity(lt[l], rt[r]) >= threshold_) {
+              if (JaccardSimilarity(lp->ids(l), rp->ids(r)) >= threshold_) {
                 chunk.push_back({static_cast<uint32_t>(l), r});
               }
             }
           }
+          for (uint32_t r : touched) seen[r] = 0;
+          touched.clear();
         }
         verified.fetch_add(chunk_verified, std::memory_order_relaxed);
         return chunk;

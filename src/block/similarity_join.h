@@ -49,10 +49,15 @@ class JaccardJoinBlocker : public Blocker {
 
   std::string name() const override;
 
+  void set_prep_cache(std::shared_ptr<PrepCache> cache) override {
+    prep_cache_ = std::move(cache);
+  }
+
  private:
   OverlapBlockerOptions options_;
   double threshold_;
   std::shared_ptr<Tokenizer> tokenizer_;
+  std::shared_ptr<PrepCache> prep_cache_;  // optional, workflow-scoped
 };
 
 // Sorted-neighborhood blocker: sort both tables by a key expression and

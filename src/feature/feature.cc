@@ -15,39 +15,78 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-std::string Prep(const Value& v, bool lowercase) {
-  std::string s = v.AsString();
-  return lowercase ? AsciiToLower(s) : s;
+// Normalized view of a value for the legacy per-pair path. String values
+// needing no lowercasing are viewed in place — no copy; everything else
+// (numerics to format, strings to lowercase) materializes into `buf`.
+std::string_view PrepView(const Value& v, bool lowercase, std::string* buf) {
+  if (!lowercase && v.is_string()) return v.AsStringView();
+  *buf = v.AsString();
+  if (lowercase) {
+    for (char& c : *buf) {
+      if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+    }
+  }
+  return *buf;
 }
 
-// Wraps a string-pair scorer into a Feature fn with null -> NaN semantics.
+// Builds a string feature: scorer over two normalized strings, evaluable
+// either per pair (fn) or against cached prepped columns (prep_fn).
 template <typename Fn>
-std::function<double(const Value&, const Value&)> StringFeature(
-    Fn scorer, bool lowercase) {
-  return [scorer, lowercase](const Value& a, const Value& b) -> double {
+Feature StringFeature(std::string name, const std::string& left_attr,
+                      const std::string& right_attr, Fn scorer,
+                      bool lowercase) {
+  Feature f;
+  f.name = std::move(name);
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [scorer, lowercase](const Value& a, const Value& b) -> double {
     if (a.is_null() || b.is_null()) return kNaN;
-    return scorer(Prep(a, lowercase), Prep(b, lowercase));
+    std::string ba, bb;
+    return scorer(PrepView(a, lowercase, &ba), PrepView(b, lowercase, &bb));
   };
+  f.prep = {lowercase, /*tokenize=*/false, /*qgram=*/0};
+  f.prep_fn = [scorer](const PreparedColumn& lc, size_t i,
+                       const PreparedColumn& rc, size_t j) -> double {
+    if (lc.is_null(i) || rc.is_null(j)) return kNaN;
+    return scorer(lc.text(i), rc.text(j));
+  };
+  return f;
 }
 
-// Wraps a token-set scorer: tokenizes with whitespace or q-grams first.
-template <typename Fn>
-std::function<double(const Value&, const Value&)> TokenFeature(
-    Fn scorer, int qgram, bool lowercase) {
-  return [scorer, qgram, lowercase](const Value& a, const Value& b) -> double {
+// Builds a token-set feature: `scorer` runs the legacy path over token
+// strings, `id_scorer` the merge kernel over the cached sorted id spans.
+// Both reduce to the same (|A|, |B|, |A ∩ B|), so results are bit-identical.
+template <typename Fn, typename IdFn>
+Feature TokenSetFeature(std::string name, const std::string& left_attr,
+                        const std::string& right_attr, Fn scorer,
+                        IdFn id_scorer, int qgram, bool lowercase) {
+  Feature f;
+  f.name = std::move(name);
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [scorer, qgram, lowercase](const Value& a,
+                                    const Value& b) -> double {
     if (a.is_null() || b.is_null()) return kNaN;
+    std::string ba, bb;
     std::vector<std::string> ta, tb;
     if (qgram > 0) {
       QgramTokenizer tok(qgram);
-      ta = tok.Tokenize(Prep(a, lowercase));
-      tb = tok.Tokenize(Prep(b, lowercase));
+      ta = tok.Tokenize(PrepView(a, lowercase, &ba));
+      tb = tok.Tokenize(PrepView(b, lowercase, &bb));
     } else {
       WhitespaceTokenizer tok;
-      ta = tok.Tokenize(Prep(a, lowercase));
-      tb = tok.Tokenize(Prep(b, lowercase));
+      ta = tok.Tokenize(PrepView(a, lowercase, &ba));
+      tb = tok.Tokenize(PrepView(b, lowercase, &bb));
     }
     return scorer(ta, tb);
   };
+  f.prep = {lowercase, /*tokenize=*/true, qgram};
+  f.prep_fn = [id_scorer](const PreparedColumn& lc, size_t i,
+                          const PreparedColumn& rc, size_t j) -> double {
+    if (lc.is_null(i) || rc.is_null(j)) return kNaN;
+    return id_scorer(lc.ids(i), rc.ids(j));
+  };
+  return f;
 }
 
 std::string TokName(int qgram) {
@@ -70,11 +109,13 @@ bool ExtractYear(const std::string& s, int* year) {
       return true;
     }
   }
-  // Trailing 4- or 2-digit year after the last '/' or '-'.
+  // Trailing 4- or 2-digit year after the last '/' or '-'. Other digit-run
+  // lengths can't be a year — and unbounded runs would overflow std::stoi
+  // (a 10-digit tail used to throw out_of_range here).
   size_t pos = s.find_last_of("/-");
   if (pos != std::string::npos && pos + 1 < s.size()) {
     std::string tail = s.substr(pos + 1);
-    if (IsAllDigits(tail)) {
+    if ((tail.size() == 2 || tail.size() == 4) && IsAllDigits(tail)) {
       int y = std::stoi(tail);
       if (tail.size() == 2) y += (y < 50) ? 2000 : 1900;
       if (y >= 1900 && y <= 2100) {
@@ -90,168 +131,208 @@ bool ExtractYear(const std::string& s, int* year) {
 
 Feature MakeExactMatchFeature(const std::string& left_attr,
                               const std::string& right_attr, bool lowercase) {
-  return {FeatName(left_attr, "exact", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return ExactMatch(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "exact", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) { return ExactMatch(a, b); },
+      lowercase);
 }
 
 Feature MakeLevenshteinFeature(const std::string& left_attr,
                                const std::string& right_attr, bool lowercase) {
-  return {FeatName(left_attr, "lev", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return LevenshteinSimilarity(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "lev", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return LevenshteinSimilarity(a, b);
+      },
+      lowercase);
 }
 
 Feature MakeJaroFeature(const std::string& left_attr,
                         const std::string& right_attr, bool lowercase) {
-  return {FeatName(left_attr, "jaro", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return JaroSimilarity(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "jaro", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return JaroSimilarity(a, b);
+      },
+      lowercase);
 }
 
 Feature MakeJaroWinklerFeature(const std::string& left_attr,
                                const std::string& right_attr, bool lowercase) {
-  return {FeatName(left_attr, "jwn", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return JaroWinklerSimilarity(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "jwn", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return JaroWinklerSimilarity(a, b);
+      },
+      lowercase);
 }
 
 Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
                                    const std::string& right_attr,
                                    bool lowercase) {
-  return {FeatName(left_attr, "nmw", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return NeedlemanWunschSimilarity(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "nmw", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return NeedlemanWunschSimilarity(a, b);
+      },
+      lowercase);
 }
 
 Feature MakeSmithWatermanFeature(const std::string& left_attr,
                                  const std::string& right_attr,
                                  bool lowercase) {
-  return {FeatName(left_attr, "sw", lowercase), left_attr, right_attr,
-          StringFeature(
-              [](const std::string& a, const std::string& b) {
-                return SmithWatermanSimilarity(a, b);
-              },
-              lowercase)};
+  return StringFeature(
+      FeatName(left_attr, "sw", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return SmithWatermanSimilarity(a, b);
+      },
+      lowercase);
 }
 
 Feature MakeJaccardFeature(const std::string& left_attr,
                            const std::string& right_attr, int qgram,
                            bool lowercase) {
-  return {FeatName(left_attr, "jac_" + TokName(qgram), lowercase), left_attr,
-          right_attr,
-          TokenFeature(
-              [](const std::vector<std::string>& a,
-                 const std::vector<std::string>& b) {
-                return JaccardSimilarity(a, b);
-              },
-              qgram, lowercase)};
+  return TokenSetFeature(
+      FeatName(left_attr, "jac_" + TokName(qgram), lowercase), left_attr,
+      right_attr,
+      [](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+        return JaccardSimilarity(a, b);
+      },
+      [](IdSpan a, IdSpan b) { return JaccardSimilarity(a, b); }, qgram,
+      lowercase);
 }
 
 Feature MakeCosineFeature(const std::string& left_attr,
                           const std::string& right_attr, int qgram,
                           bool lowercase) {
-  return {FeatName(left_attr, "cos_" + TokName(qgram), lowercase), left_attr,
-          right_attr,
-          TokenFeature(
-              [](const std::vector<std::string>& a,
-                 const std::vector<std::string>& b) {
-                return CosineSimilarity(a, b);
-              },
-              qgram, lowercase)};
+  return TokenSetFeature(
+      FeatName(left_attr, "cos_" + TokName(qgram), lowercase), left_attr,
+      right_attr,
+      [](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+        return CosineSimilarity(a, b);
+      },
+      [](IdSpan a, IdSpan b) { return CosineSimilarity(a, b); }, qgram,
+      lowercase);
 }
 
 Feature MakeDiceFeature(const std::string& left_attr,
                         const std::string& right_attr, int qgram,
                         bool lowercase) {
-  return {FeatName(left_attr, "dice_" + TokName(qgram), lowercase), left_attr,
-          right_attr,
-          TokenFeature(
-              [](const std::vector<std::string>& a,
-                 const std::vector<std::string>& b) {
-                return DiceSimilarity(a, b);
-              },
-              qgram, lowercase)};
+  return TokenSetFeature(
+      FeatName(left_attr, "dice_" + TokName(qgram), lowercase), left_attr,
+      right_attr,
+      [](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+        return DiceSimilarity(a, b);
+      },
+      [](IdSpan a, IdSpan b) { return DiceSimilarity(a, b); }, qgram,
+      lowercase);
 }
 
 Feature MakeOverlapCoefficientFeature(const std::string& left_attr,
                                       const std::string& right_attr, int qgram,
                                       bool lowercase) {
-  return {FeatName(left_attr, "ovc_" + TokName(qgram), lowercase), left_attr,
-          right_attr,
-          TokenFeature(
-              [](const std::vector<std::string>& a,
-                 const std::vector<std::string>& b) {
-                return OverlapCoefficient(a, b);
-              },
-              qgram, lowercase)};
+  return TokenSetFeature(
+      FeatName(left_attr, "ovc_" + TokName(qgram), lowercase), left_attr,
+      right_attr,
+      [](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+        return OverlapCoefficient(a, b);
+      },
+      [](IdSpan a, IdSpan b) { return OverlapCoefficient(a, b); }, qgram,
+      lowercase);
 }
 
 Feature MakeMongeElkanFeature(const std::string& left_attr,
                               const std::string& right_attr, bool lowercase) {
-  return {FeatName(left_attr, "mel", lowercase), left_attr, right_attr,
-          TokenFeature(
-              [](const std::vector<std::string>& a,
-                 const std::vector<std::string>& b) {
-                return MongeElkanSimilarity(a, b);
-              },
-              /*qgram=*/0, lowercase)};
+  // Monge-Elkan needs the token STRINGS (it runs Jaro-Winkler between
+  // tokens), so its prepared path reads the column's token arrays — kept in
+  // tokenizer-emission order, which preserves the legacy summation order.
+  Feature f;
+  f.name = FeatName(left_attr, "mel", lowercase);
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [lowercase](const Value& a, const Value& b) -> double {
+    if (a.is_null() || b.is_null()) return kNaN;
+    std::string ba, bb;
+    WhitespaceTokenizer tok;
+    std::vector<std::string> ta = tok.Tokenize(PrepView(a, lowercase, &ba));
+    std::vector<std::string> tb = tok.Tokenize(PrepView(b, lowercase, &bb));
+    return MongeElkanSimilarity(ta, tb);
+  };
+  f.prep = {lowercase, /*tokenize=*/true, /*qgram=*/0};
+  f.prep_fn = [](const PreparedColumn& lc, size_t i, const PreparedColumn& rc,
+                 size_t j) -> double {
+    if (lc.is_null(i) || rc.is_null(j)) return kNaN;
+    size_t na = 0, nb = 0;
+    const std::string* ta = lc.tokens(i, &na);
+    const std::string* tb = rc.tokens(j, &nb);
+    if (lc.interner_uid() == rc.interner_uid()) {
+      // Same interner (same PrepCache, the documented contract): memoize
+      // the token-level Jaro-Winkler by id pair — bit-identical, just not
+      // recomputed for every candidate pair sharing a record.
+      size_t ia = 0, ib = 0;
+      return MongeElkanSimilarityMemo(ta, lc.emission_ids(i, &ia), na, tb,
+                                      rc.emission_ids(j, &ib), nb,
+                                      lc.interner_uid());
+    }
+    return MongeElkanSimilarity(ta, na, tb, nb);
+  };
+  return f;
 }
 
 Feature MakeAbsDiffFeature(const std::string& left_attr,
                            const std::string& right_attr) {
-  return {left_attr + "_absdiff", left_attr, right_attr,
-          [](const Value& a, const Value& b) -> double {
-            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
-            return AbsoluteDifference(a.AsDouble(), b.AsDouble());
-          }};
+  Feature f;
+  f.name = left_attr + "_absdiff";
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [](const Value& a, const Value& b) -> double {
+    if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+    return AbsoluteDifference(a.AsDouble(), b.AsDouble());
+  };
+  return f;
 }
 
 Feature MakeRelativeSimFeature(const std::string& left_attr,
                                const std::string& right_attr) {
-  return {left_attr + "_relsim", left_attr, right_attr,
-          [](const Value& a, const Value& b) -> double {
-            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
-            return RelativeSimilarity(a.AsDouble(), b.AsDouble());
-          }};
+  Feature f;
+  f.name = left_attr + "_relsim";
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [](const Value& a, const Value& b) -> double {
+    if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+    return RelativeSimilarity(a.AsDouble(), b.AsDouble());
+  };
+  return f;
 }
 
 Feature MakeNumericExactFeature(const std::string& left_attr,
                                 const std::string& right_attr) {
-  return {left_attr + "_numexact", left_attr, right_attr,
-          [](const Value& a, const Value& b) -> double {
-            if (!a.is_numeric() || !b.is_numeric()) return kNaN;
-            return NumericExactMatch(a.AsDouble(), b.AsDouble());
-          }};
+  Feature f;
+  f.name = left_attr + "_numexact";
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [](const Value& a, const Value& b) -> double {
+    if (!a.is_numeric() || !b.is_numeric()) return kNaN;
+    return NumericExactMatch(a.AsDouble(), b.AsDouble());
+  };
+  return f;
 }
 
 Feature MakeYearDiffFeature(const std::string& left_attr,
                             const std::string& right_attr) {
-  return {left_attr + "_yeardiff", left_attr, right_attr,
-          [](const Value& a, const Value& b) -> double {
-            if (a.is_null() || b.is_null()) return kNaN;
-            int ya = 0, yb = 0;
-            if (!ExtractYear(a.AsString(), &ya) ||
-                !ExtractYear(b.AsString(), &yb)) {
-              return kNaN;
-            }
-            return std::abs(ya - yb);
-          }};
+  Feature f;
+  f.name = left_attr + "_yeardiff";
+  f.left_attr = left_attr;
+  f.right_attr = right_attr;
+  f.fn = [](const Value& a, const Value& b) -> double {
+    if (a.is_null() || b.is_null()) return kNaN;
+    int ya = 0, yb = 0;
+    if (!ExtractYear(a.AsString(), &ya) || !ExtractYear(b.AsString(), &yb)) {
+      return kNaN;
+    }
+    return std::abs(ya - yb);
+  };
+  return f;
 }
 
 }  // namespace emx

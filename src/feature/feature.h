@@ -5,19 +5,43 @@
 #include <string>
 #include <vector>
 
+#include "src/prep/prepared_column.h"
 #include "src/table/value.h"
 
 namespace emx {
+
+// What a feature needs prepped per column to evaluate through the cached
+// path: the normalization, and (for token features) the tokenization.
+struct FeaturePrepSpec {
+  bool lowercase = false;
+  bool tokenize = false;  // token-level feature (set kernels / Monge-Elkan)
+  int qgram = 0;          // when tokenizing: <= 0 whitespace, else q-grams
+};
 
 // One pairwise feature: compares a left-table attribute against a
 // right-table attribute and yields a double (NaN when either side is null —
 // downstream, the Imputer fills NaNs with column means, exactly the paper's
 // missing-value handling in §9).
+//
+// Every feature carries the legacy per-pair `fn` (re-normalizes and
+// re-tokenizes both values on every call — still the right tool for
+// one-off evaluations, rules, and tests). String/token features
+// ADDITIONALLY carry `prep_fn` plus the `prep` spec describing the cached
+// representation it reads: VectorizePairs preps each referenced column
+// once per spec and evaluates pairs against PreparedColumns — same doubles,
+// bit for bit, with no per-pair allocation. Both PreparedColumns passed to
+// one prep_fn call must come from the SAME PrepCache (shared interner).
 struct Feature {
   std::string name;        // e.g. "AwardTitle_jac_ws"
   std::string left_attr;
   std::string right_attr;
   std::function<double(const Value&, const Value&)> fn;
+  FeaturePrepSpec prep;    // meaningful only when prep_fn is set
+  std::function<double(const PreparedColumn&, size_t, const PreparedColumn&,
+                       size_t)>
+      prep_fn;             // empty for numeric/date features
+
+  bool has_prep() const { return static_cast<bool>(prep_fn); }
 };
 
 // Named similarity-function factories. `lowercase` pre-lowercases both

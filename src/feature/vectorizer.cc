@@ -1,18 +1,37 @@
 #include "src/feature/vectorizer.h"
 
 #include <cmath>
+#include <memory>
+
+#include "src/text/tokenizer.h"
 
 namespace emx {
 
-Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
-                                     const CandidateSet& pairs,
-                                     const FeatureSet& features,
-                                     const ExecutorContext& ctx) {
-  // Resolve attribute columns once.
+namespace {
+
+// The tokenizer a feature's prep spec asks for, or null for text-only prep.
+std::unique_ptr<Tokenizer> TokenizerForSpec(const FeaturePrepSpec& spec) {
+  if (!spec.tokenize) return nullptr;
+  if (spec.qgram > 0) return std::make_unique<QgramTokenizer>(spec.qgram);
+  return std::make_unique<WhitespaceTokenizer>();
+}
+
+Result<FeatureMatrix> VectorizeImpl(const Table& left, const Table& right,
+                                    const CandidateSet& pairs,
+                                    const FeatureSet& features,
+                                    const ExecutorContext& ctx,
+                                    PrepCache* cache, bool use_prepared) {
+  // Resolve attribute columns once; features with a prepared evaluator bind
+  // to PreparedColumns built once per (column, prep spec) — each record is
+  // prepped a single time no matter how many pairs it appears in.
   struct Bound {
     const std::vector<Value>* lcol;
     const std::vector<Value>* rcol;
+    std::shared_ptr<const PreparedColumn> lprep;  // null -> legacy fn
+    std::shared_ptr<const PreparedColumn> rprep;
   };
+  PrepCache local_cache;
+  PrepCache& prep_cache = cache != nullptr ? *cache : local_cache;
   std::vector<Bound> bound;
   bound.reserve(features.features.size());
   for (const Feature& f : features.features) {
@@ -20,7 +39,14 @@ Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                          left.ColumnByName(f.left_attr));
     EMX_ASSIGN_OR_RETURN(const std::vector<Value>* rcol,
                          right.ColumnByName(f.right_attr));
-    bound.push_back({lcol, rcol});
+    Bound b{lcol, rcol, nullptr, nullptr};
+    if (use_prepared && f.has_prep()) {
+      std::unique_ptr<Tokenizer> tok = TokenizerForSpec(f.prep);
+      PrepOptions opts{f.prep.lowercase, /*strip_punctuation=*/false};
+      b.lprep = prep_cache.Get(*lcol, opts, tok.get());
+      b.rprep = prep_cache.Get(*rcol, opts, tok.get());
+    }
+    bound.push_back(std::move(b));
   }
 
   FeatureMatrix m;
@@ -33,12 +59,38 @@ Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
       std::vector<double>& row = m.rows[r];
       row.reserve(features.features.size());
       for (size_t i = 0; i < features.features.size(); ++i) {
-        row.push_back(features.features[i].fn((*bound[i].lcol)[p.left],
-                                              (*bound[i].rcol)[p.right]));
+        const Feature& f = features.features[i];
+        if (bound[i].lprep != nullptr) {
+          row.push_back(
+              f.prep_fn(*bound[i].lprep, p.left, *bound[i].rprep, p.right));
+        } else {
+          row.push_back(
+              f.fn((*bound[i].lcol)[p.left], (*bound[i].rcol)[p.right]));
+        }
       }
     }
   });
   return m;
+}
+
+}  // namespace
+
+Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
+                                     const CandidateSet& pairs,
+                                     const FeatureSet& features,
+                                     const ExecutorContext& ctx,
+                                     PrepCache* cache) {
+  return VectorizeImpl(left, right, pairs, features, ctx, cache,
+                       /*use_prepared=*/true);
+}
+
+Result<FeatureMatrix> VectorizePairsUnprepared(const Table& left,
+                                               const Table& right,
+                                               const CandidateSet& pairs,
+                                               const FeatureSet& features,
+                                               const ExecutorContext& ctx) {
+  return VectorizeImpl(left, right, pairs, features, ctx, /*cache=*/nullptr,
+                       /*use_prepared=*/false);
 }
 
 void MeanImputer::Fit(const FeatureMatrix& matrix) {

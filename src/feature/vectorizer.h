@@ -14,6 +14,13 @@ namespace emx {
 // these features to convert each record pair into a feature vector").
 // Row i of the result corresponds to pairs[i]; missing comparisons are NaN.
 //
+// Before the pair loop, every (column, prep spec) a feature references is
+// prepped ONCE through `cache` (or a call-local cache when null):
+// normalization, tokenization, and token-id spans are computed per RECORD,
+// not per (pair × feature) as the legacy path did — the evaluation loop is
+// then allocation-free merge kernels over cached spans. Results are
+// bit-identical to the legacy path (asserted by token_kernel_test).
+//
 // Rows are filled in parallel on `ctx`'s executor — each row is an
 // independent pure computation over (pairs[i], features), so the matrix is
 // identical at any thread count. Feature fns must be thread-safe (all
@@ -21,7 +28,17 @@ namespace emx {
 Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                                      const CandidateSet& pairs,
                                      const FeatureSet& features,
-                                     const ExecutorContext& ctx = {});
+                                     const ExecutorContext& ctx = {},
+                                     PrepCache* cache = nullptr);
+
+// Forces every feature through its legacy per-pair Value fn, bypassing
+// prepared columns entirely. Equivalence oracle for tests and the
+// before/after measurement in bench_vectorize — not a production path.
+Result<FeatureMatrix> VectorizePairsUnprepared(const Table& left,
+                                               const Table& right,
+                                               const CandidateSet& pairs,
+                                               const FeatureSet& features,
+                                               const ExecutorContext& ctx = {});
 
 // Mean imputation fitted on a training matrix, applied to any matrix with
 // the same feature columns — PyMatcher fills missing feature values with

@@ -1,0 +1,92 @@
+#include "src/prep/prepared_column.h"
+
+#include <algorithm>
+
+#include "src/core/strings.h"
+
+namespace emx {
+
+PreparedColumn::PreparedColumn(const std::vector<Value>& column,
+                               const PrepOptions& options,
+                               const Tokenizer* tokenizer,
+                               TokenInterner* interner)
+    : tokenized_(tokenizer != nullptr), interner_uid_(interner->uid()) {
+  size_t n = column.size();
+  null_.resize(n, 0);
+  text_.resize(n);
+  token_offsets_.assign(n + 1, 0);
+  id_offsets_.assign(n + 1, 0);
+
+  std::vector<uint32_t> row_ids;
+  for (size_t r = 0; r < n; ++r) {
+    const Value& v = column[r];
+    if (v.is_null()) {
+      null_[r] = 1;
+    } else {
+      std::string s = v.AsString();
+      if (options.lowercase) s = AsciiToLower(s);
+      if (options.strip_punctuation) s = StripPunctuation(s);
+      text_[r] = std::move(s);
+      if (tokenizer != nullptr) {
+        std::vector<std::string> tokens = tokenizer->Tokenize(text_[r]);
+        row_ids.clear();
+        row_ids.reserve(tokens.size());
+        for (const std::string& t : tokens) {
+          row_ids.push_back(interner->Intern(t));
+        }
+        emit_ids_.insert(emit_ids_.end(), row_ids.begin(), row_ids.end());
+        // Sorted for the merge kernels; duplicates (non-unique tokenizers
+        // only) are preserved so the blockers' per-occurrence probe counts
+        // match the legacy string index exactly.
+        std::sort(row_ids.begin(), row_ids.end());
+        id_arena_.insert(id_arena_.end(), row_ids.begin(), row_ids.end());
+        for (std::string& t : tokens) token_store_.push_back(std::move(t));
+      }
+    }
+    token_offsets_[r + 1] = static_cast<uint32_t>(token_store_.size());
+    id_offsets_[r + 1] = static_cast<uint32_t>(id_arena_.size());
+  }
+}
+
+std::shared_ptr<const PreparedColumn> PrepCache::Get(
+    const std::vector<Value>& column, const PrepOptions& options,
+    const Tokenizer* tokenizer) {
+  Key key{column.data(), column.size(), options,
+          tokenizer == nullptr
+              ? std::string()
+              : tokenizer->name() + (tokenizer->unique() ? "/u" : "/b")};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto prepared = std::make_shared<const PreparedColumn>(column, options,
+                                                         tokenizer, &interner_);
+  cache_.emplace(std::move(key), prepared);
+  return prepared;
+}
+
+std::vector<std::string_view> PrepCache::TokenStringsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string_view> out;
+  out.reserve(interner_.size());
+  for (size_t id = 0; id < interner_.size(); ++id) {
+    out.push_back(interner_.TokenString(static_cast<uint32_t>(id)));
+  }
+  return out;
+}
+
+void PrepCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+size_t PrepCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t PrepCache::interned_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interner_.size();
+}
+
+}  // namespace emx

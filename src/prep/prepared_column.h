@@ -1,0 +1,165 @@
+#ifndef EMX_PREP_PREPARED_COLUMN_H_
+#define EMX_PREP_PREPARED_COLUMN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/table/value.h"
+#include "src/text/token_interner.h"
+#include "src/text/tokenizer.h"
+
+namespace emx {
+
+// How a column is normalized (and optionally tokenized) before similarity
+// scoring. Mirrors the two prep pipelines in the codebase: features
+// lowercase only (feature.cc's Prep), blockers lowercase AND strip
+// punctuation (OverlapBlockerOptions).
+struct PrepOptions {
+  bool lowercase = false;
+  bool strip_punctuation = false;
+
+  friend bool operator<(const PrepOptions& a, const PrepOptions& b) {
+    if (a.lowercase != b.lowercase) return a.lowercase < b.lowercase;
+    return a.strip_punctuation < b.strip_punctuation;
+  }
+};
+
+// One column of one table, prepped ONCE: per row the normalized string,
+// the token strings exactly as the tokenizer emitted them (first-occurrence
+// order — the order the legacy per-pair path saw, so order-sensitive
+// scorers like Monge-Elkan sum in the same order), and a SORTED span of
+// token ids in a flat arena for the merge-based set kernels. Token ids come
+// from the owning PrepCache's interner, so spans from any two columns of
+// the same cache are directly comparable.
+//
+// Immutable after construction; safe to read from any number of threads.
+class PreparedColumn {
+ public:
+  // Preps every row of `column`. `tokenizer` may be null for text-only
+  // prep (string features need no tokens). `interner` must outlive the
+  // column and is mutated (new tokens interned) during construction.
+  PreparedColumn(const std::vector<Value>& column, const PrepOptions& options,
+                 const Tokenizer* tokenizer, TokenInterner* interner);
+
+  size_t rows() const { return null_.size(); }
+  bool is_null(size_t row) const { return null_[row] != 0; }
+
+  // The normalized string of a row ("" for null rows).
+  const std::string& text(size_t row) const { return text_[row]; }
+
+  // Sorted token-id span of a row (empty unless built with a tokenizer).
+  IdSpan ids(size_t row) const {
+    return {id_arena_.data() + id_offsets_[row],
+            id_offsets_[row + 1] - id_offsets_[row]};
+  }
+
+  // Token strings of a row in tokenizer-emission order; `*count` receives
+  // the token count. Contiguous, so callers can pass (ptr, count) straight
+  // to the Monge-Elkan span overloads.
+  const std::string* tokens(size_t row, size_t* count) const {
+    *count = token_offsets_[row + 1] - token_offsets_[row];
+    return token_store_.data() + token_offsets_[row];
+  }
+
+  // Token ids of a row in tokenizer-EMISSION order, parallel to tokens():
+  // emission_ids(row)[k] is the id of tokens(row)[k]. Lets order-sensitive
+  // scorers key per-token-pair memos by id while still summing in the
+  // legacy order.
+  const uint32_t* emission_ids(size_t row, size_t* count) const {
+    *count = token_offsets_[row + 1] - token_offsets_[row];
+    return emit_ids_.data() + token_offsets_[row];
+  }
+
+  // uid() of the interner the ids were assigned by; columns from the same
+  // PrepCache share it. See TokenInterner::uid().
+  uint64_t interner_uid() const { return interner_uid_; }
+
+  bool tokenized() const { return tokenized_; }
+
+ private:
+  bool tokenized_;
+  uint64_t interner_uid_;
+  std::vector<uint8_t> null_;
+  std::vector<std::string> text_;
+  std::vector<std::string> token_store_;   // flat, row-major
+  std::vector<uint32_t> token_offsets_;    // rows+1
+  std::vector<uint32_t> emit_ids_;         // flat, emission order per row
+  std::vector<uint32_t> id_arena_;         // flat, each row's run sorted
+  std::vector<uint32_t> id_offsets_;       // rows+1
+};
+
+// Caches PreparedColumns keyed on (column identity, prep options,
+// tokenizer), all sharing ONE TokenInterner so id spans from different
+// columns — left vs right table, or columns requested by different
+// blockers/features — intersect directly. This is what collapses the
+// per-(pair × feature) tokenization of the legacy path to one pass per
+// (column, prep config): each record is prepped once no matter how many
+// candidate pairs it appears in.
+//
+// Thread-safety: Get() is fully synchronized (builds are serialized under
+// the cache mutex — concurrent blockers requesting columns simply take
+// turns prepping). Returned shared_ptrs stay valid across Clear().
+//
+// Invalidation contract: entries are keyed on the COLUMN'S STORAGE ADDRESS
+// plus its row count, so a cache must not outlive the tables it prepped
+// (EmWorkflow scopes its cache to itself and its tables; checkpoint/resume
+// never persists the cache — prepped state is always rebuilt from live
+// tables, see DESIGN.md §8).
+class PrepCache {
+ public:
+  PrepCache() = default;
+  PrepCache(const PrepCache&) = delete;
+  PrepCache& operator=(const PrepCache&) = delete;
+
+  // The prepared form of `column` under (options, tokenizer), built on
+  // first use. `tokenizer` may be null for text-only prep; its name() and
+  // unique() flag identify it in the cache key.
+  std::shared_ptr<const PreparedColumn> Get(const std::vector<Value>& column,
+                                            const PrepOptions& options,
+                                            const Tokenizer* tokenizer);
+
+  // Snapshot of id -> token string for every token interned so far. The
+  // views point at interner storage, which is append-only and
+  // reference-stable, so they stay valid for the cache's lifetime. Used by
+  // the similarity join to order tokens by (frequency, string) without
+  // racing a concurrent build.
+  std::vector<std::string_view> TokenStringsSnapshot() const;
+
+  // Drops all cache entries (outstanding shared_ptrs stay alive). The
+  // interner and its id assignments are retained. Must not run concurrently
+  // with a Get() consumer that is still pairing up spans.
+  void Clear();
+
+  // Introspection for tests/benches.
+  size_t entries() const;
+  size_t interned_tokens() const;
+
+ private:
+  struct Key {
+    const void* column;  // column storage address
+    size_t rows;
+    PrepOptions options;
+    std::string tokenizer_key;  // "" when untokenized
+
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.column != b.column) return a.column < b.column;
+      if (a.rows != b.rows) return a.rows < b.rows;
+      if (a.options < b.options || b.options < a.options)
+        return a.options < b.options;
+      return a.tokenizer_key < b.tokenizer_key;
+    }
+  };
+
+  mutable std::mutex mu_;
+  TokenInterner interner_;
+  std::map<Key, std::shared_ptr<const PreparedColumn>> cache_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_PREP_PREPARED_COLUMN_H_

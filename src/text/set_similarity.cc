@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/text/sequence_similarity.h"
@@ -37,6 +38,73 @@ SetStats ComputeStats(const std::vector<std::string>& a,
   return {sa.size(), sb.size(), inter};
 }
 
+// Id-span counterpart of ComputeStats: one linear merge over two sorted
+// spans, counting distinct values and distinct common values — no hashing,
+// no allocation. Runs of equal ids (non-unique tokenizers) collapse to one.
+SetStats ComputeStats(IdSpan a, IdSpan b) {
+  size_t i = 0, j = 0;
+  size_t da = 0, db = 0, inter = 0;
+  while (i < a.size && j < b.size) {
+    uint32_t va = a.data[i];
+    uint32_t vb = b.data[j];
+    if (va == vb) {
+      ++da;
+      ++db;
+      ++inter;
+      do { ++i; } while (i < a.size && a.data[i] == va);
+      do { ++j; } while (j < b.size && b.data[j] == vb);
+    } else if (va < vb) {
+      ++da;
+      do { ++i; } while (i < a.size && a.data[i] == va);
+    } else {
+      ++db;
+      do { ++j; } while (j < b.size && b.data[j] == vb);
+    }
+  }
+  while (i < a.size) {
+    uint32_t va = a.data[i];
+    ++da;
+    do { ++i; } while (i < a.size && a.data[i] == va);
+  }
+  while (j < b.size) {
+    uint32_t vb = b.data[j];
+    ++db;
+    do { ++j; } while (j < b.size && b.data[j] == vb);
+  }
+  return {da, db, inter};
+}
+
+// Shared score formulas: both representations reduce to the same integer
+// triple, so routing them through one set of formulas guarantees the
+// double results are bit-identical across representations.
+double JaccardFromStats(const SetStats& s) {
+  size_t uni = s.size_a + s.size_b - s.intersection;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(uni);
+}
+
+double OverlapCoefficientFromStats(const SetStats& s) {
+  size_t mn = std::min(s.size_a, s.size_b);
+  if (mn == 0) return (s.size_a == s.size_b) ? 1.0 : 0.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(mn);
+}
+
+double DiceFromStats(const SetStats& s) {
+  size_t denom = s.size_a + s.size_b;
+  if (denom == 0) return 1.0;
+  return 2.0 * static_cast<double>(s.intersection) /
+         static_cast<double>(denom);
+}
+
+double CosineFromStats(const SetStats& s) {
+  if (s.size_a == 0 || s.size_b == 0) {
+    return (s.size_a == s.size_b) ? 1.0 : 0.0;
+  }
+  return static_cast<double>(s.intersection) /
+         std::sqrt(static_cast<double>(s.size_a) *
+                   static_cast<double>(s.size_b));
+}
+
 }  // namespace
 
 size_t OverlapSize(const std::vector<std::string>& a,
@@ -46,58 +114,130 @@ size_t OverlapSize(const std::vector<std::string>& a,
 
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
-  SetStats s = ComputeStats(a, b);
-  size_t uni = s.size_a + s.size_b - s.intersection;
-  if (uni == 0) return 1.0;
-  return static_cast<double>(s.intersection) / static_cast<double>(uni);
+  return JaccardFromStats(ComputeStats(a, b));
 }
 
 double OverlapCoefficient(const std::vector<std::string>& a,
                           const std::vector<std::string>& b) {
-  SetStats s = ComputeStats(a, b);
-  size_t mn = std::min(s.size_a, s.size_b);
-  if (mn == 0) return (s.size_a == s.size_b) ? 1.0 : 0.0;
-  return static_cast<double>(s.intersection) / static_cast<double>(mn);
+  return OverlapCoefficientFromStats(ComputeStats(a, b));
 }
 
 double DiceSimilarity(const std::vector<std::string>& a,
                       const std::vector<std::string>& b) {
-  SetStats s = ComputeStats(a, b);
-  size_t denom = s.size_a + s.size_b;
-  if (denom == 0) return 1.0;
-  return 2.0 * static_cast<double>(s.intersection) /
-         static_cast<double>(denom);
+  return DiceFromStats(ComputeStats(a, b));
 }
 
 double CosineSimilarity(const std::vector<std::string>& a,
                         const std::vector<std::string>& b) {
-  SetStats s = ComputeStats(a, b);
-  if (s.size_a == 0 || s.size_b == 0) {
-    return (s.size_a == s.size_b) ? 1.0 : 0.0;
+  return CosineFromStats(ComputeStats(a, b));
+}
+
+size_t OverlapSize(IdSpan a, IdSpan b) {
+  return ComputeStats(a, b).intersection;
+}
+
+double JaccardSimilarity(IdSpan a, IdSpan b) {
+  return JaccardFromStats(ComputeStats(a, b));
+}
+
+double OverlapCoefficient(IdSpan a, IdSpan b) {
+  return OverlapCoefficientFromStats(ComputeStats(a, b));
+}
+
+double DiceSimilarity(IdSpan a, IdSpan b) {
+  return DiceFromStats(ComputeStats(a, b));
+}
+
+double CosineSimilarity(IdSpan a, IdSpan b) {
+  return CosineFromStats(ComputeStats(a, b));
+}
+
+double MongeElkanAsymmetric(const std::string* a, size_t na,
+                            const std::string* b, size_t nb) {
+  if (na == 0) return nb == 0 ? 1.0 : 0.0;
+  if (nb == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < na; ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < nb; ++j) {
+      best = std::max(best, JaroWinklerSimilarity(a[i], b[j]));
+    }
+    sum += best;
   }
-  return static_cast<double>(s.intersection) /
-         std::sqrt(static_cast<double>(s.size_a) *
-                   static_cast<double>(s.size_b));
+  return sum / static_cast<double>(na);
+}
+
+double MongeElkanSimilarity(const std::string* a, size_t na,
+                            const std::string* b, size_t nb) {
+  return 0.5 * (MongeElkanAsymmetric(a, na, b, nb) +
+                MongeElkanAsymmetric(b, nb, a, na));
+}
+
+namespace {
+
+// Thread-local token-pair Jaro-Winkler memo for MongeElkanSimilarityMemo.
+// Keyed by the ids' interner uid: a lookup against a different interner
+// resets the table (ids are only comparable within one interner). Bounded —
+// a pathological vocabulary flushes the table instead of growing forever.
+struct JwMemo {
+  uint64_t interner_uid = 0;
+  std::unordered_map<uint64_t, double> scores;  // (aid << 32 | bid) -> jw
+};
+
+double MemoizedJw(JwMemo& memo, const std::string& a, uint32_t aid,
+                  const std::string& b, uint32_t bid) {
+  const uint64_t key = (static_cast<uint64_t>(aid) << 32) | bid;
+  auto it = memo.scores.find(key);
+  if (it != memo.scores.end()) return it->second;
+  double v = JaroWinklerSimilarity(a, b);
+  memo.scores.emplace(key, v);
+  return v;
+}
+
+double MongeElkanAsymmetricMemo(JwMemo& memo, const std::string* a,
+                                const uint32_t* aid, size_t na,
+                                const std::string* b, const uint32_t* bid,
+                                size_t nb) {
+  if (na == 0) return nb == 0 ? 1.0 : 0.0;
+  if (nb == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < na; ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < nb; ++j) {
+      best = std::max(best, MemoizedJw(memo, a[i], aid[i], b[j], bid[j]));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(na);
+}
+
+}  // namespace
+
+double MongeElkanSimilarityMemo(const std::string* a, const uint32_t* aid,
+                                size_t na, const std::string* b,
+                                const uint32_t* bid, size_t nb,
+                                uint64_t interner_uid) {
+  thread_local JwMemo memo;
+  if (memo.interner_uid != interner_uid ||
+      memo.scores.size() > (1u << 22)) {
+    memo.interner_uid = interner_uid;
+    memo.scores.clear();
+  }
+  // Directional keys on purpose: the reverse direction scores jw(b_j, a_i),
+  // stored under (bid << 32 | aid), so no symmetry assumption about the
+  // Jaro-Winkler implementation is baked into the memo.
+  return 0.5 * (MongeElkanAsymmetricMemo(memo, a, aid, na, b, bid, nb) +
+                MongeElkanAsymmetricMemo(memo, b, bid, nb, a, aid, na));
 }
 
 double MongeElkanAsymmetric(const std::vector<std::string>& a,
                             const std::vector<std::string>& b) {
-  if (a.empty()) return b.empty() ? 1.0 : 0.0;
-  if (b.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& ta : a) {
-    double best = 0.0;
-    for (const auto& tb : b) {
-      best = std::max(best, JaroWinklerSimilarity(ta, tb));
-    }
-    sum += best;
-  }
-  return sum / static_cast<double>(a.size());
+  return MongeElkanAsymmetric(a.data(), a.size(), b.data(), b.size());
 }
 
 double MongeElkanSimilarity(const std::vector<std::string>& a,
                             const std::vector<std::string>& b) {
-  return 0.5 * (MongeElkanAsymmetric(a, b) + MongeElkanAsymmetric(b, a));
+  return MongeElkanSimilarity(a.data(), a.size(), b.data(), b.size());
 }
 
 TfIdfScorer::TfIdfScorer(

@@ -1,9 +1,12 @@
 #ifndef EMX_TEXT_SET_SIMILARITY_H_
 #define EMX_TEXT_SET_SIMILARITY_H_
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/text/token_interner.h"
 
 namespace emx {
 
@@ -11,6 +14,15 @@ namespace emx {
 // overlap coefficient, and Jaccard). Inputs are token vectors as produced by
 // a Tokenizer with unique() set; duplicate tokens in the input are treated
 // as a set (deduplicated internally).
+//
+// Each measure has two forms:
+//  - the legacy string form over std::vector<std::string>, which builds
+//    hash sets per call (kept for standalone use and as the equivalence
+//    oracle in tests);
+//  - an id-span form over sorted IdSpans from one shared TokenInterner,
+//    which intersects by linear merge with ZERO allocation per call. Both
+//    forms reduce to the same (|A|, |B|, |A ∩ B|) integer triple, so their
+//    double results are bit-identical.
 
 // |A ∩ B|.
 size_t OverlapSize(const std::vector<std::string>& a,
@@ -32,6 +44,16 @@ double DiceSimilarity(const std::vector<std::string>& a,
 double CosineSimilarity(const std::vector<std::string>& a,
                         const std::vector<std::string>& b);
 
+// Id-span forms. Spans MUST be sorted ascending and use ids from the same
+// interner on both sides; duplicates (possible only when a tokenizer had
+// unique() unset) are deduplicated on the fly during the merge, matching
+// the string forms' set semantics exactly.
+size_t OverlapSize(IdSpan a, IdSpan b);
+double JaccardSimilarity(IdSpan a, IdSpan b);
+double OverlapCoefficient(IdSpan a, IdSpan b);
+double DiceSimilarity(IdSpan a, IdSpan b);
+double CosineSimilarity(IdSpan a, IdSpan b);
+
 // Monge-Elkan: mean over tokens of A of the best Jaro-Winkler score against
 // any token of B. Asymmetric; MongeElkanSimilarity symmetrizes by averaging
 // both directions.
@@ -39,6 +61,29 @@ double MongeElkanAsymmetric(const std::vector<std::string>& a,
                             const std::vector<std::string>& b);
 double MongeElkanSimilarity(const std::vector<std::string>& a,
                             const std::vector<std::string>& b);
+
+// Span forms over contiguous token-string arrays (PreparedColumn keeps the
+// deduplicated tokens of a row contiguous in first-occurrence order, which
+// preserves the legacy summation order — floating-point results are
+// bit-identical to the vector forms).
+double MongeElkanAsymmetric(const std::string* a, size_t na,
+                            const std::string* b, size_t nb);
+double MongeElkanSimilarity(const std::string* a, size_t na,
+                            const std::string* b, size_t nb);
+
+// As the span form, but with the tokens' interner ids (`aid[i]` is the id
+// of `a[i]`) so the inner token-level Jaro-Winkler calls are memoized per
+// (interner_uid, left id, right id) in a thread-local table. A memo hit
+// returns the exact double the miss computed from the same two strings, and
+// the summation order is untouched, so results stay bit-identical to the
+// unmemoized forms — this only removes the re-scoring of the same token
+// pair across the thousands of candidate pairs that share records.
+// `interner_uid` must be TokenInterner::uid() of the interner that assigned
+// BOTH sides' ids (PreparedColumn::interner_uid()).
+double MongeElkanSimilarityMemo(const std::string* a, const uint32_t* aid,
+                                size_t na, const std::string* b,
+                                const uint32_t* bid, size_t nb,
+                                uint64_t interner_uid);
 
 // TF-IDF weighted cosine over a fixed corpus vocabulary. Build once from all
 // strings of both tables, then score token vectors. Unknown tokens get

@@ -1,0 +1,27 @@
+#include "src/text/token_interner.h"
+
+#include <atomic>
+
+namespace emx {
+
+uint64_t TokenInterner::NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t TokenInterner::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(token);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> TokenInterner::Find(std::string_view token) const {
+  auto it = ids_.find(token);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace emx

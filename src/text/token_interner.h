@@ -1,0 +1,75 @@
+#ifndef EMX_TEXT_TOKEN_INTERNER_H_
+#define EMX_TEXT_TOKEN_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace emx {
+
+// A non-owning view over a run of token ids inside a flat arena — the unit
+// the allocation-free set-similarity kernels operate on. Spans produced by
+// PreparedColumn are sorted ascending; they contain duplicates only when
+// the producing tokenizer had unique() unset (set kernels deduplicate on
+// the fly, so either way scores match the legacy string path exactly).
+struct IdSpan {
+  const uint32_t* data = nullptr;
+  uint32_t size = 0;
+
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
+
+// Interns token strings into dense uint32_t ids (0, 1, 2, ... in first-seen
+// order). Two tokens are equal iff their ids are equal, so set-similarity
+// kernels compare 4-byte ids instead of hashing strings.
+//
+// Every downstream consumer is invariant to the id PERMUTATION (scores
+// depend only on span sizes and intersection cardinalities; the similarity
+// join orders tokens by (frequency, token string), not by id), so the same
+// interner may be shared by caches filled in any order without affecting
+// results. Interned strings are stored in a deque: references returned by
+// TokenString() stay valid across later Intern() calls.
+//
+// Not internally synchronized — PrepCache serializes all access under its
+// own mutex.
+class TokenInterner {
+ public:
+  TokenInterner() = default;
+  TokenInterner(const TokenInterner&) = delete;
+  TokenInterner& operator=(const TokenInterner&) = delete;
+
+  // Returns the id of `token`, assigning the next dense id if unseen.
+  uint32_t Intern(std::string_view token);
+
+  // Id of `token` if already interned.
+  std::optional<uint32_t> Find(std::string_view token) const;
+
+  // The string for an id; reference stable for the interner's lifetime.
+  const std::string& TokenString(uint32_t id) const { return strings_[id]; }
+
+  // Number of distinct tokens interned so far (== smallest unassigned id).
+  size_t size() const { return strings_.size(); }
+
+  // Process-unique identity of this interner (never reused, unlike the
+  // object's address). Keys caches of per-(id, id) computation results —
+  // e.g. the memoized token-level Jaro-Winkler inside Monge-Elkan — so a
+  // stale entry can never be confused with an id pair from a different
+  // interner that happened to reuse freed memory.
+  uint64_t uid() const { return uid_; }
+
+ private:
+  static uint64_t NextUid();
+
+  const uint64_t uid_ = NextUid();
+  std::deque<std::string> strings_;  // id -> token; deque keeps refs stable
+  std::unordered_map<std::string_view, uint32_t> ids_;  // views into strings_
+};
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_TOKEN_INTERNER_H_

@@ -57,9 +57,9 @@ Result<CandidateSet> EmWorkflow::RunMatching(
     const CandidateSet& ml_input) const {
   EMX_FAILPOINT("workflow/match");
   if (matcher_ == nullptr || ml_input.empty()) return CandidateSet();
-  EMX_ASSIGN_OR_RETURN(
-      FeatureMatrix m,
-      VectorizePairs(left, right, ml_input, features_, exec_ctx_));
+  EMX_ASSIGN_OR_RETURN(FeatureMatrix m,
+                       VectorizePairs(left, right, ml_input, features_,
+                                      exec_ctx_, prep_cache_.get()));
   EMX_RETURN_IF_ERROR(imputer_.Transform(m));
   std::vector<int> pred = matcher_->Predict(m.rows);
   std::vector<RecordPair> positives;

@@ -12,6 +12,7 @@
 #include "src/feature/feature_gen.h"
 #include "src/feature/vectorizer.h"
 #include "src/ml/matcher.h"
+#include "src/prep/prepared_column.h"
 #include "src/rules/match_rules.h"
 #include "src/workflow/match_set.h"
 
@@ -47,7 +48,12 @@ class EmWorkflow {
   void AddPositiveRule(MatchRule rule) {
     positive_rules_.push_back(std::move(rule));
   }
+  // Registers a blocker and hands it the workflow's shared prep cache, so
+  // blockers over the same (attribute, tokenizer, normalization) — e.g. the
+  // paper's overlap + overlap-coefficient pair on Title — share a single
+  // tokenized-column pass and one token-id universe.
   void AddBlocker(std::shared_ptr<Blocker> blocker) {
+    blocker->set_prep_cache(prep_cache_);
     blockers_.push_back(std::move(blocker));
   }
   void AddNegativeRule(MatchRule rule) {
@@ -102,6 +108,15 @@ class EmWorkflow {
 
   bool has_matcher() const { return matcher_ != nullptr; }
 
+  // The workflow-scoped prep cache: one normalization + tokenization +
+  // token-id pass per (column, prep config), shared by every blocker and
+  // the vectorize stage, across Run calls over the same tables. Entries key
+  // on column storage identity, so the cache must not be read against
+  // tables that died (call ClearPrepCache when swapping table generations;
+  // checkpoint/resume never persists it — see DESIGN.md §8).
+  const std::shared_ptr<PrepCache>& prep_cache() const { return prep_cache_; }
+  void ClearPrepCache() const { prep_cache_->Clear(); }
+
   // A human-readable description of the configured stages — the §12/§13
   // "how to represent the EM workflow effectively" concern: the packaged
   // workflow must be inspectable when it moves to production.
@@ -115,6 +130,7 @@ class EmWorkflow {
   FeatureSet features_;
   MeanImputer imputer_;
   ExecutorContext exec_ctx_;
+  std::shared_ptr<PrepCache> prep_cache_ = std::make_shared<PrepCache>();
 };
 
 // Merges branch results when a workflow is run over several input batches

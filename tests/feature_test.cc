@@ -99,6 +99,20 @@ TEST(FeatureTest, YearDiffParsesBothDateStyles) {
   EXPECT_TRUE(std::isnan(f.fn(Value("no year"), Value("2008-01-01"))));
 }
 
+TEST(FeatureTest, YearDiffRejectsOverlongDigitRunsWithoutThrowing) {
+  Feature f = MakeYearDiffFeature("d", "d");
+  // A slash-date whose "year" tail exceeds int range used to escape as
+  // std::out_of_range from std::stoi; now it is simply not a year.
+  EXPECT_TRUE(std::isnan(f.fn(Value("10/1/9999999999"), Value("2008-01-01"))));
+  EXPECT_TRUE(std::isnan(f.fn(Value("1/1/123456789012345678901234567890"),
+                              Value("2008-01-01"))));
+  // 3-digit tails are not years either (neither YY nor YYYY).
+  EXPECT_TRUE(std::isnan(f.fn(Value("10/1/200"), Value("2008-01-01"))));
+  // Valid 2- and 4-digit tails still parse.
+  EXPECT_DOUBLE_EQ(f.fn(Value("10/1/08"), Value("2008-01-01")), 0.0);
+  EXPECT_DOUBLE_EQ(f.fn(Value("10/1/2009"), Value("2008-01-01")), 1.0);
+}
+
 TEST(FeatureTest, StringMeasureFamiliesAgreeWithCore) {
   Value a("swamp dodder ecology");
   Value b("swamp dodder applied ecology");

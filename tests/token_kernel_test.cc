@@ -1,0 +1,395 @@
+// Equivalence suite for the token-id kernel layer: the interner, the
+// id-span set kernels, PreparedColumn/PrepCache, the id-based overlap join,
+// and the prepared vectorize path must all produce BIT-IDENTICAL scores and
+// candidate sets to the legacy string paths — on a randomized corpus
+// including empty, null, all-punctuation, and duplicate-token values, at
+// 1/2/8 threads.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/block/overlap_blocker.h"
+#include "src/block/similarity_join.h"
+#include "src/core/executor.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/vectorizer.h"
+#include "src/prep/prepared_column.h"
+#include "src/table/table.h"
+#include "src/text/set_similarity.h"
+#include "src/text/token_interner.h"
+#include "src/text/tokenizer.h"
+#include "src/workflow/em_workflow.h"
+
+namespace emx {
+namespace {
+
+// ---------- corpus generation ----------
+
+// Vocabulary with deliberately colliding, short, and punctuation-heavy
+// tokens so dedup, empty-token, and qgram edge cases all fire.
+std::vector<std::string> Vocab() {
+  return {"alpha", "beta",  "gamma", "delta", "ALPHA", "a",  "ab",
+          "abc",   "x",     "2008",  "10/1",  "!!",    "--", "award",
+          "title", "Title", "fund",  "nsf",   "usda",  "z9"};
+}
+
+// A random cell: null, empty, all-punctuation, duplicate-token, numeric, or
+// a random token sentence.
+Value RandomCell(std::mt19937& rng) {
+  std::uniform_int_distribution<int> kind(0, 9);
+  switch (kind(rng)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value(std::string());
+    case 2:
+      return Value("!!! ... ---");  // tokens vanish under strip-punct
+    case 3:
+      return Value("alpha alpha alpha beta");  // duplicate tokens
+    case 4:
+      return Value(int64_t{20080134});  // numeric formatted to string
+    default: {
+      auto vocab = Vocab();
+      std::uniform_int_distribution<size_t> len(1, 6);
+      std::uniform_int_distribution<size_t> pick(0, vocab.size() - 1);
+      std::string s;
+      size_t n = len(rng);
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) s += ' ';
+        s += vocab[pick(rng)];
+      }
+      return Value(std::move(s));
+    }
+  }
+}
+
+Table RandomTable(size_t rows, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Schema schema({{"id", DataType::kInt64},
+                 {"title", DataType::kAny},
+                 {"amount", DataType::kAny},
+                 {"date", DataType::kString}});
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    std::uniform_int_distribution<int> amount(0, 5000);
+    std::uniform_int_distribution<int> yr(1990, 2020);
+    (void)t.AppendRow({Value(static_cast<int64_t>(i)), RandomCell(rng),
+                       Value(static_cast<double>(amount(rng))),
+                       Value(std::to_string(yr(rng)) + "-07-0" +
+                             std::to_string(1 + (i % 9)))});
+  }
+  return t;
+}
+
+std::vector<std::string> RandomTokens(std::mt19937& rng) {
+  auto vocab = Vocab();
+  std::uniform_int_distribution<size_t> len(0, 8);
+  std::uniform_int_distribution<size_t> pick(0, vocab.size() - 1);
+  std::vector<std::string> out;
+  size_t n = len(rng);
+  for (size_t i = 0; i < n; ++i) out.push_back(vocab[pick(rng)]);
+  return out;
+}
+
+// ---------- interner ----------
+
+TEST(TokenInternerTest, DenseIdsInFirstSeenOrder) {
+  TokenInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("c"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.TokenString(1), "b");
+  ASSERT_TRUE(interner.Find("c").has_value());
+  EXPECT_EQ(*interner.Find("c"), 2u);
+  EXPECT_FALSE(interner.Find("zzz").has_value());
+}
+
+TEST(TokenInternerTest, StringReferencesStableAcrossGrowth) {
+  TokenInterner interner;
+  interner.Intern("stable");
+  const std::string& ref = interner.TokenString(0);
+  for (int i = 0; i < 10000; ++i) interner.Intern("t" + std::to_string(i));
+  EXPECT_EQ(ref, "stable");  // deque storage: no reallocation of strings
+}
+
+// ---------- id-span kernels vs string kernels ----------
+
+// Interns a token vector and returns its sorted id list (duplicates kept,
+// as PreparedColumn does).
+std::vector<uint32_t> ToIds(const std::vector<std::string>& tokens,
+                            TokenInterner* interner) {
+  std::vector<uint32_t> ids;
+  for (const auto& t : tokens) ids.push_back(interner->Intern(t));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+IdSpan SpanOf(const std::vector<uint32_t>& ids) {
+  return {ids.data(), static_cast<uint32_t>(ids.size())};
+}
+
+TEST(IdSpanKernelTest, BitIdenticalToStringKernelsOnRandomizedCorpus) {
+  std::mt19937 rng(7);
+  TokenInterner interner;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::string> a = RandomTokens(rng);
+    std::vector<std::string> b = RandomTokens(rng);
+    std::vector<uint32_t> ia = ToIds(a, &interner);
+    std::vector<uint32_t> ib = ToIds(b, &interner);
+    IdSpan sa = SpanOf(ia), sb = SpanOf(ib);
+    EXPECT_EQ(OverlapSize(a, b), OverlapSize(sa, sb));
+    // EXPECT_EQ on doubles is exact — the contract is bit-identical.
+    EXPECT_EQ(JaccardSimilarity(a, b), JaccardSimilarity(sa, sb));
+    EXPECT_EQ(OverlapCoefficient(a, b), OverlapCoefficient(sa, sb));
+    EXPECT_EQ(DiceSimilarity(a, b), DiceSimilarity(sa, sb));
+    EXPECT_EQ(CosineSimilarity(a, b), CosineSimilarity(sa, sb));
+  }
+}
+
+TEST(IdSpanKernelTest, EmptyAndDuplicateEdgeCases) {
+  TokenInterner interner;
+  std::vector<uint32_t> empty;
+  std::vector<uint32_t> dup = ToIds({"a", "a", "a"}, &interner);
+  std::vector<uint32_t> ab = ToIds({"a", "b"}, &interner);
+  EXPECT_EQ(JaccardSimilarity(SpanOf(empty), SpanOf(empty)), 1.0);
+  EXPECT_EQ(OverlapCoefficient(SpanOf(empty), SpanOf(ab)), 0.0);
+  EXPECT_EQ(CosineSimilarity(SpanOf(empty), SpanOf(ab)), 0.0);
+  EXPECT_EQ(DiceSimilarity(SpanOf(empty), SpanOf(empty)), 1.0);
+  // {a,a,a} deduplicates to {a}: |A|=1, inter with {a,b} = 1.
+  EXPECT_EQ(JaccardSimilarity(SpanOf(dup), SpanOf(ab)), 0.5);
+  EXPECT_EQ(OverlapCoefficient(SpanOf(dup), SpanOf(ab)), 1.0);
+}
+
+// ---------- PreparedColumn / PrepCache ----------
+
+TEST(PreparedColumnTest, MatchesLegacyPrepAndTokenization) {
+  Table t = RandomTable(200, 11);
+  const std::vector<Value>* col = *t.ColumnByName("title");
+  PrepCache cache;
+  WhitespaceTokenizer ws;
+  PrepOptions opts{/*lowercase=*/true, /*strip_punctuation=*/true};
+  auto prep = cache.Get(*col, opts, &ws);
+
+  OverlapBlockerOptions legacy_opts;
+  legacy_opts.lowercase = true;
+  legacy_opts.strip_punctuation = true;
+  auto legacy = internal_block::TokenizeColumn(*col, legacy_opts, ws);
+
+  ASSERT_EQ(prep->rows(), col->size());
+  for (size_t r = 0; r < prep->rows(); ++r) {
+    EXPECT_EQ(prep->is_null(r), (*col)[r].is_null());
+    // Token strings match the legacy tokenization exactly, in order.
+    size_t n = 0;
+    const std::string* toks = prep->tokens(r, &n);
+    ASSERT_EQ(n, legacy[r].size()) << "row " << r;
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(toks[i], legacy[r][i]);
+    // Id span is the sorted image of the tokens under the interner.
+    IdSpan ids = prep->ids(r);
+    ASSERT_EQ(ids.size, n);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  }
+}
+
+TEST(PrepCacheTest, DeduplicatesByColumnAndConfig) {
+  Table t = RandomTable(50, 3);
+  const std::vector<Value>* title = *t.ColumnByName("title");
+  const std::vector<Value>* date = *t.ColumnByName("date");
+  PrepCache cache;
+  WhitespaceTokenizer ws;
+  PrepOptions a{true, true};
+  PrepOptions b{true, false};
+  auto p1 = cache.Get(*title, a, &ws);
+  auto p2 = cache.Get(*title, a, &ws);
+  EXPECT_EQ(p1.get(), p2.get());  // cache hit: same object
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.Get(*title, b, &ws);        // different normalization
+  cache.Get(*title, a, nullptr);    // text-only prep
+  cache.Get(*date, a, &ws);         // different column
+  EXPECT_EQ(cache.entries(), 4u);
+  // Clear drops entries but outstanding references stay readable.
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(p1->rows(), title->size());
+}
+
+// ---------- overlap join: id path vs legacy string path ----------
+
+TEST(OverlapJoinTest, IdJoinMatchesStringJoinAt128Threads) {
+  Table left = RandomTable(150, 21);
+  Table right = RandomTable(170, 22);
+  const std::vector<Value>* lcol = *left.ColumnByName("title");
+  const std::vector<Value>* rcol = *right.ColumnByName("title");
+  OverlapBlockerOptions opts;
+  opts.lowercase = true;
+  opts.strip_punctuation = true;
+  WhitespaceTokenizer ws;
+  auto lt = internal_block::TokenizeColumn(*lcol, opts, ws);
+  auto rt = internal_block::TokenizeColumn(*rcol, opts, ws);
+
+  PrepCache cache;
+  auto lp = cache.Get(*lcol, internal_block::ToPrepOptions(opts), &ws);
+  auto rp = cache.Get(*rcol, internal_block::ToPrepOptions(opts), &ws);
+
+  internal_block::OverlapKeepFn keep = [](size_t, size_t, size_t overlap) {
+    return overlap >= 1;
+  };
+  for (size_t threads : {1u, 2u, 8u}) {
+    Executor pool(threads);
+    ExecutorContext ctx{&pool};
+    CandidateSet legacy =
+        internal_block::OverlapJoinStrings(lt, rt, keep, ctx);
+    CandidateSet ids = internal_block::OverlapJoinIds(*lp, *rp, keep, ctx);
+    EXPECT_TRUE(legacy == ids) << "threads=" << threads << " legacy="
+                               << legacy.size() << " ids=" << ids.size();
+    EXPECT_GT(ids.size(), 0u);  // corpus guarantees some overlap
+  }
+}
+
+TEST(OverlapBlockerTest, BlockerOutputsIdenticalAcrossThreadCounts) {
+  Table left = RandomTable(120, 31);
+  Table right = RandomTable(120, 32);
+  OverlapBlockerOptions opts;
+  opts.left_attr = "title";
+  opts.right_attr = "title";
+  OverlapBlocker k2(opts, 2);
+  OverlapCoefficientBlocker coeff(opts, 0.6);
+  JaccardJoinBlocker jac(opts, 0.4);
+
+  Executor pool1(1);
+  ExecutorContext ctx1{&pool1};
+  auto k2_base = k2.Block(left, right, ctx1);
+  auto coeff_base = coeff.Block(left, right, ctx1);
+  BlockStats stats_base;
+  auto jac_base = jac.BlockWithStats(left, right, &stats_base, ctx1);
+  ASSERT_TRUE(k2_base.ok() && coeff_base.ok() && jac_base.ok());
+
+  for (size_t threads : {2u, 8u}) {
+    Executor pool(threads);
+    ExecutorContext ctx{&pool};
+    auto k2_t = k2.Block(left, right, ctx);
+    auto coeff_t = coeff.Block(left, right, ctx);
+    BlockStats stats;
+    auto jac_t = jac.BlockWithStats(left, right, &stats, ctx);
+    ASSERT_TRUE(k2_t.ok() && coeff_t.ok() && jac_t.ok());
+    EXPECT_TRUE(*k2_base == *k2_t) << "threads=" << threads;
+    EXPECT_TRUE(*coeff_base == *coeff_t) << "threads=" << threads;
+    EXPECT_TRUE(*jac_base == *jac_t) << "threads=" << threads;
+    EXPECT_EQ(stats_base.verified, stats.verified) << "threads=" << threads;
+  }
+}
+
+// Brute-force jaccard join as ground truth: the prefix filter must be
+// lossless under the id representation too.
+TEST(JaccardJoinTest, IdPathLosslessVsBruteForce) {
+  Table left = RandomTable(80, 41);
+  Table right = RandomTable(80, 42);
+  OverlapBlockerOptions opts;
+  opts.left_attr = "title";
+  opts.right_attr = "title";
+  double threshold = 0.5;
+  JaccardJoinBlocker jac(opts, threshold);
+  auto got = jac.Block(left, right);
+  ASSERT_TRUE(got.ok());
+
+  WhitespaceTokenizer ws;
+  auto lt = internal_block::TokenizeColumn(*(*left.ColumnByName("title")),
+                                           opts, ws);
+  auto rt = internal_block::TokenizeColumn(*(*right.ColumnByName("title")),
+                                           opts, ws);
+  std::vector<RecordPair> expected;
+  for (size_t l = 0; l < lt.size(); ++l) {
+    for (size_t r = 0; r < rt.size(); ++r) {
+      if (lt[l].empty() || rt[r].empty()) continue;  // prefix of 0 tokens
+      if (JaccardSimilarity(lt[l], rt[r]) >= threshold) {
+        expected.push_back(
+            {static_cast<uint32_t>(l), static_cast<uint32_t>(r)});
+      }
+    }
+  }
+  EXPECT_TRUE(*got == CandidateSet(std::move(expected)));
+}
+
+// ---------- vectorize: prepared path vs legacy path ----------
+
+TEST(VectorizeEquivalenceTest, PreparedBitIdenticalToLegacyAt128Threads) {
+  Table left = RandomTable(60, 51);
+  Table right = RandomTable(60, 52);
+  FeatureGenOptions gen;
+  gen.exclude = {"id"};
+  gen.lowercase_variants = {"title"};
+  auto features = GenerateFeatures(left, right, gen);
+  ASSERT_TRUE(features.ok());
+  // Include the date feature so the fn-only (no prep) path is exercised.
+  features->features.push_back(MakeYearDiffFeature("date", "date"));
+
+  // All pairs in a modest cross product, exercising null/empty/punct cells.
+  std::vector<RecordPair> all;
+  for (uint32_t l = 0; l < 60; ++l) {
+    for (uint32_t r = 0; r < 60; r += 3) all.push_back({l, r});
+  }
+  CandidateSet pairs(std::move(all));
+
+  Executor pool1(1);
+  auto legacy =
+      VectorizePairsUnprepared(left, right, pairs, *features,
+                               ExecutorContext{&pool1});
+  ASSERT_TRUE(legacy.ok());
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    Executor pool(threads);
+    ExecutorContext ctx{&pool};
+    auto prepared = VectorizePairs(left, right, pairs, *features, ctx);
+    ASSERT_TRUE(prepared.ok());
+    ASSERT_EQ(prepared->rows.size(), legacy->rows.size());
+    for (size_t r = 0; r < legacy->rows.size(); ++r) {
+      for (size_t c = 0; c < legacy->rows[r].size(); ++c) {
+        double a = legacy->rows[r][c];
+        double b = prepared->rows[r][c];
+        // Bitwise comparison (NaN == NaN under this contract).
+        EXPECT_TRUE((std::isnan(a) && std::isnan(b)) || a == b)
+            << "threads=" << threads << " row=" << r << " col=" << c << " ("
+            << legacy->feature_names[c] << "): " << a << " vs " << b;
+      }
+    }
+  }
+}
+
+// A workflow-scoped cache shared by two blockers over the same attribute
+// performs ONE tokenized-column pass per side, and cached vectorization
+// doesn't change workflow output.
+TEST(WorkflowPrepCacheTest, BlockersShareOneTokenizePassPerColumn) {
+  Table left = RandomTable(100, 61);
+  Table right = RandomTable(100, 62);
+  OverlapBlockerOptions opts;
+  opts.left_attr = "title";
+  opts.right_attr = "title";
+
+  EmWorkflow wf;
+  wf.AddBlocker(std::make_shared<OverlapBlocker>(opts, 1));
+  wf.AddBlocker(std::make_shared<OverlapCoefficientBlocker>(opts, 0.8));
+  auto run = wf.Run(left, right);
+  ASSERT_TRUE(run.ok());
+  // Same attribute + same tokenizer + same normalization on both blockers:
+  // exactly one prepared entry per side's column.
+  EXPECT_EQ(wf.prep_cache()->entries(), 2u);
+
+  // Output matches standalone blockers (which prep through local caches).
+  OverlapBlocker solo_k(opts, 1);
+  OverlapCoefficientBlocker solo_c(opts, 0.8);
+  auto k = solo_k.Block(left, right);
+  auto c = solo_c.Block(left, right);
+  ASSERT_TRUE(k.ok() && c.ok());
+  EXPECT_TRUE(run->candidates == CandidateSet::Union(*k, *c));
+
+  wf.ClearPrepCache();
+  EXPECT_EQ(wf.prep_cache()->entries(), 0u);
+}
+
+}  // namespace
+}  // namespace emx
