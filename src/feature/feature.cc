@@ -5,6 +5,7 @@
 
 #include "src/core/strings.h"
 #include "src/text/numeric_similarity.h"
+#include "src/text/phonetic.h"
 #include "src/text/sequence_similarity.h"
 #include "src/text/set_similarity.h"
 #include "src/text/tokenizer.h"
@@ -185,6 +186,16 @@ Feature MakeSmithWatermanFeature(const std::string& left_attr,
       FeatName(left_attr, "sw", lowercase), left_attr, right_attr,
       [](std::string_view a, std::string_view b) {
         return SmithWatermanSimilarity(a, b);
+      },
+      lowercase);
+}
+
+Feature MakeAffineGapFeature(const std::string& left_attr,
+                             const std::string& right_attr, bool lowercase) {
+  return StringFeature(
+      FeatName(left_attr, "ag", lowercase), left_attr, right_attr,
+      [](std::string_view a, std::string_view b) {
+        return AffineGapSimilarity(a, b);
       },
       lowercase);
 }

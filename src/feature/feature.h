@@ -64,6 +64,13 @@ Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
 Feature MakeSmithWatermanFeature(const std::string& left_attr,
                                  const std::string& right_attr,
                                  bool lowercase = false);
+// Affine-gap alignment (Gotoh) — the only sequence measure that scores a
+// single long insertion ("Smith, J" vs "Smith, John R") above scattered
+// edits; useful for person-name attributes. Scratch-backed like the rest of
+// the sequence kernels.
+Feature MakeAffineGapFeature(const std::string& left_attr,
+                             const std::string& right_attr,
+                             bool lowercase = false);
 
 // Token-set features; `qgram` <= 0 means whitespace tokens, otherwise
 // character q-grams of that size.

@@ -1,6 +1,7 @@
 #include "src/rules/match_rules.h"
 
 #include "src/rules/number_pattern.h"
+#include "src/text/sequence_kernel.h"
 
 namespace emx {
 
@@ -54,6 +55,25 @@ MatchRule MakeAwardProjectNumberRule(const std::string& left_award_attr,
   return MakeEqualityRule(
       "M4_award_eq_project_number", left_award_attr, right_project_attr,
       [](const std::string& s) { return AwardNumberSuffix(s); }, nullptr);
+}
+
+MatchRule MakeLevenshteinRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr, double min_sim,
+    std::function<std::string(const std::string&)> left_transform,
+    std::function<std::string(const std::string&)> right_transform) {
+  return {rule_name,
+          [=](const Table& l, size_t lr, const Table& r, size_t rr) {
+            std::string lv, rv;
+            if (!GetPairValues(l, lr, left_attr, r, rr, right_attr,
+                               left_transform, right_transform, &lv, &rv)) {
+              return false;
+            }
+            // Length-bound short-circuit + banded kernel: exactly
+            // LevenshteinSimilarity(lv, rv) >= min_sim, without computing
+            // the full distance for pairs the bound already rejects.
+            return LevenshteinSimilarityAtLeast(lv, rv, min_sim);
+          }};
 }
 
 MatchRule MakeComparableMismatchRule(

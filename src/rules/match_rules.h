@@ -41,6 +41,19 @@ MatchRule MakeM1AwardNumberRule(const std::string& left_award_attr,
 MatchRule MakeAwardProjectNumberRule(const std::string& left_award_attr,
                                      const std::string& right_project_attr);
 
+// Fires when LevenshteinSimilarity(transform(left), transform(right)) >=
+// `min_sim`, both sides non-null/non-empty. The predicate short-circuits on
+// the exact length bound (distance >= |length difference|, so a big length
+// gap alone can rule the pair out with NO DP) and otherwise runs the banded
+// bit-parallel kernel with an exact cutoff — the decision is identical to
+// scoring the full similarity and comparing, just much cheaper on the
+// non-matches that dominate rule scans.
+MatchRule MakeLevenshteinRule(
+    const std::string& rule_name, const std::string& left_attr,
+    const std::string& right_attr, double min_sim,
+    std::function<std::string(const std::string&)> left_transform = nullptr,
+    std::function<std::string(const std::string&)> right_transform = nullptr);
+
 // --- Negative rule factories -------------------------------------------
 
 // §12 negative rule: fires (meaning NON-match) when the two attributes are

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <vector>
 
+#include "src/text/sequence_kernel.h"
+
 namespace emx {
 
 namespace {
@@ -91,7 +93,54 @@ double AffineGapSimilarity(std::string_view a, std::string_view b,
   if (m == 0 || n == 0) return (m == n) ? 1.0 : 0.0;
   constexpr double kNegInf = -1e18;
   // Gotoh's three-state DP: M = match/mismatch, X = gap in b (consuming a),
-  // Y = gap in a (consuming b). Full tables — inputs are short strings.
+  // Y = gap in a (consuming b). Row i depends only on row i-1, so six
+  // rolling rows from the thread's scratch replace the three full tables;
+  // every cell evaluates the exact expressions of the full-table oracle.
+  const size_t w = n + 1;
+  double* mp = DpScratch::Tls().Doubles(6 * w);
+  double* xp = mp + w;
+  double* yp = xp + w;
+  double* mc = yp + w;
+  double* xc = mc + w;
+  double* yc = xc + w;
+  mp[0] = 0.0;
+  xp[0] = yp[0] = kNegInf;
+  for (size_t j = 1; j <= n; ++j) {
+    mp[j] = xp[j] = kNegInf;
+    yp[j] = gap_open + gap_extend * static_cast<double>(j - 1);
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    const char ai = a[i - 1];
+    mc[0] = yc[0] = kNegInf;
+    xc[0] = gap_open + gap_extend * static_cast<double>(i - 1);
+    for (size_t j = 1; j <= n; ++j) {
+      double sub = (ai == b[j - 1]) ? match : mismatch;
+      double diag = std::max({mp[j - 1], xp[j - 1], yp[j - 1]});
+      mc[j] = diag + sub;
+      xc[j] = std::max({mp[j] + gap_open, xp[j] + gap_extend,
+                        yp[j] + gap_open});
+      yc[j] = std::max({mc[j - 1] + gap_open, yc[j - 1] + gap_extend,
+                        xc[j - 1] + gap_open});
+    }
+    std::swap(mp, mc);
+    std::swap(xp, xc);
+    std::swap(yp, yc);
+  }
+  double score = std::max({mp[n], xp[n], yp[n]});
+  double norm = score / (match * static_cast<double>(std::min(m, n)));
+  return std::clamp(norm, 0.0, 1.0);
+}
+
+namespace oracle {
+
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double match, double mismatch, double gap_open,
+                           double gap_extend) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0 || n == 0) return (m == n) ? 1.0 : 0.0;
+  constexpr double kNegInf = -1e18;
+  // The seed full-table implementation — the equivalence oracle for the
+  // rolling-row kernel above.
   std::vector<std::vector<double>> M(m + 1, std::vector<double>(n + 1, kNegInf));
   std::vector<std::vector<double>> X = M, Y = M;
   M[0][0] = 0.0;
@@ -116,5 +165,7 @@ double AffineGapSimilarity(std::string_view a, std::string_view b,
   double norm = score / (match * static_cast<double>(std::min(m, n)));
   return std::clamp(norm, 0.0, 1.0);
 }
+
+}  // namespace oracle
 
 }  // namespace emx

@@ -21,10 +21,23 @@ double SoundexSimilarity(std::string_view a, std::string_view b);
 // Affine-gap alignment similarity: like Needleman-Wunsch, but opening a
 // gap costs more than extending one, so "Smith, J" vs "Smith, John R"
 // (one long insertion) scores higher than scattered edits. Returns a
-// score normalized into [0, 1] by min(|a|, |b|).
+// score normalized into [0, 1] by min(|a|, |b|). Kernel-backed: Gotoh's
+// three-state DP runs over six rolling rows borrowed from the calling
+// thread's DpScratch instead of three full (m+1)x(n+1) tables —
+// allocation-free after warm-up and bit-identical to the full-table oracle.
 double AffineGapSimilarity(std::string_view a, std::string_view b,
                            double match = 1.0, double mismatch = -0.5,
                            double gap_open = -1.0, double gap_extend = -0.2);
+
+namespace oracle {
+
+// The seed full-table implementation, kept as the equivalence oracle for
+// the scratch-backed kernel above.
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double match = 1.0, double mismatch = -0.5,
+                           double gap_open = -1.0, double gap_extend = -0.2);
+
+}  // namespace oracle
 
 }  // namespace emx
 

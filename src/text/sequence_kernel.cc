@@ -1,0 +1,194 @@
+#include "src/text/sequence_kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace emx {
+
+DpScratch& DpScratch::Tls() {
+  thread_local DpScratch scratch;
+  return scratch;
+}
+
+namespace {
+
+// Single-word Myers/Hyyrö: pattern `pat` (1..64 chars) against `text`.
+// Pv/Mv hold the vertical deltas of the DP column at the current text
+// position; `score` tracks D[m][j] via the horizontal delta at row m (the
+// pattern's last bit). The `| 1` in the Ph shift is the D[0][j] = j boundary
+// row, which increases by one every text character.
+int MyersSingleWord(std::string_view pat, std::string_view text) {
+  const size_t m = pat.size();
+  uint64_t peq[256];
+  std::memset(peq, 0, sizeof(peq));
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pat[i])] |= uint64_t{1} << i;
+  }
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  int score = static_cast<int>(m);
+  const uint64_t last = uint64_t{1} << (m - 1);
+  for (char tc : text) {
+    const uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Blocked Myers for patterns beyond one word: the pattern's DP column is cut
+// into 64-row blocks, each stepped with Hyyrö's AdvanceBlock; the horizontal
+// delta at a block's top row (hout) feeds the next block as hin. hin of
+// block 0 is always +1 (the boundary row), and hout of the last block —
+// read at the pattern's last bit, not bit 63, when the block is partial —
+// is exactly the per-column delta of D[m][j]. Bits above the pattern length
+// in the last block hold garbage rows, which is harmless: word carries only
+// propagate upward, so they never influence row m.
+int MyersBlocked(std::string_view pat, std::string_view text,
+                 DpScratch* scratch) {
+  const size_t m = pat.size();
+  const size_t words = (m + 63) / 64;
+  uint64_t* peq = scratch->Words(words * 256 + 2 * words);
+  uint64_t* pv = peq + words * 256;
+  uint64_t* mv = pv + words;
+  std::memset(peq, 0, words * 256 * sizeof(uint64_t));
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pat[i]) * words + i / 64] |=
+        uint64_t{1} << (i % 64);
+  }
+  for (size_t k = 0; k < words; ++k) {
+    pv[k] = ~uint64_t{0};
+    mv[k] = 0;
+  }
+  int score = static_cast<int>(m);
+  const size_t last_block = words - 1;
+  const uint64_t last_bit = uint64_t{1} << ((m - 1) % 64);
+  for (char tc : text) {
+    const uint64_t* eq_row =
+        peq + static_cast<size_t>(static_cast<unsigned char>(tc)) * words;
+    int hin = 1;
+    for (size_t k = 0; k < words; ++k) {
+      uint64_t eq = eq_row[k];
+      const uint64_t pv_k = pv[k];
+      const uint64_t mv_k = mv[k];
+      const uint64_t xv = eq | mv_k;
+      if (hin < 0) eq |= 1;
+      const uint64_t xh = (((eq & pv_k) + pv_k) ^ pv_k) | eq;
+      uint64_t ph = mv_k | ~(xh | pv_k);
+      uint64_t mh = pv_k & xh;
+      const uint64_t top = k == last_block ? last_bit : uint64_t{1} << 63;
+      int hout = 0;
+      if (ph & top) {
+        hout = 1;
+      } else if (mh & top) {
+        hout = -1;
+      }
+      ph = (ph << 1) | (hin > 0 ? 1 : 0);
+      mh = (mh << 1) | (hin < 0 ? 1 : 0);
+      pv[k] = mh | ~(xv | ph);
+      mv[k] = ph & xv;
+      hin = hout;
+    }
+    score += hin;
+  }
+  return score;
+}
+
+}  // namespace
+
+int MyersLevenshtein(std::string_view a, std::string_view b,
+                     DpScratch* scratch) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the pattern: O(min) words
+  if (a.empty()) return static_cast<int>(b.size());
+  if (a.size() <= 64) return MyersSingleWord(a, b);
+  return MyersBlocked(a, b, scratch);
+}
+
+int BoundedLevenshtein(std::string_view a, std::string_view b, int limit,
+                       DpScratch* scratch) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (limit < 0) limit = 0;
+  // Length-difference bound: every alignment needs at least n - m edits.
+  if (n - m > limit) return limit + 1;
+  if (m == 0) return n;  // n <= limit here, so n is the exact answer
+  const int inf = limit + 1;
+  int* prev = scratch->Ints(2 * (n + 1));
+  int* cur = prev + (n + 1);
+  for (int j = 0; j <= n; ++j) prev[j] = j <= limit ? j : inf;
+  for (int i = 1; i <= m; ++i) {
+    const char ai = a[i - 1];
+    const int lo = std::max(1, i - limit);
+    const int hi = std::min(n, i + limit);
+    // Left band edge (the cell before `lo`), then the band, then an `inf`
+    // guard past the right edge so the next row's out-of-band reads see it.
+    cur[lo - 1] = lo == 1 ? (i <= limit ? i : inf) : inf;
+    int row_min = cur[lo - 1];
+    for (int j = lo; j <= hi; ++j) {
+      const int sub = prev[j - 1] + (ai == b[j - 1] ? 0 : 1);
+      const int del = prev[j] + 1;
+      const int ins = cur[j - 1] + 1;
+      const int v = std::min(inf, std::min({sub, del, ins}));
+      cur[j] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (hi < n) cur[hi + 1] = inf;
+    // Cells only grow down a column, so a row entirely past the limit can
+    // never come back under it.
+    if (row_min > limit) return inf;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], inf);
+}
+
+double LevenshteinSimilarityUpperBound(size_t len_a, size_t len_b) {
+  const size_t mx = std::max(len_a, len_b);
+  if (mx == 0) return 1.0;
+  const size_t diff = len_a > len_b ? len_a - len_b : len_b - len_a;
+  return 1.0 - static_cast<double>(diff) / static_cast<double>(mx);
+}
+
+bool LevenshteinSimilarityAtLeast(std::string_view a, std::string_view b,
+                                  double min_sim) {
+  const size_t mx = std::max(a.size(), b.size());
+  if (mx == 0) return 1.0 >= min_sim;
+  // The similarity LevenshteinSimilarity would compute for distance d. The
+  // double is monotone nonincreasing in d (both the division and the
+  // subtraction round monotonically), which the short-circuits below rely on.
+  const auto sim_of = [mx](int d) {
+    return 1.0 - static_cast<double>(d) / static_cast<double>(mx);
+  };
+  // Exact length-bound short-circuit: d >= |len difference| always.
+  if (LevenshteinSimilarityUpperBound(a.size(), b.size()) < min_sim) {
+    return false;
+  }
+  // Even the worst case passes: no DP needed.
+  if (sim_of(static_cast<int>(mx)) >= min_sim) return true;
+  // Largest distance that still satisfies the threshold. Start from the
+  // algebraic estimate and nudge (FP rounding can shift it by one).
+  int limit = static_cast<int>((1.0 - min_sim) * static_cast<double>(mx));
+  limit = std::min(limit, static_cast<int>(mx));
+  while (limit + 1 <= static_cast<int>(mx) && sim_of(limit + 1) >= min_sim) {
+    ++limit;
+  }
+  while (limit >= 0 && sim_of(limit) < min_sim) --limit;
+  if (limit < 0) return false;  // even distance 0 falls short
+  // Band with exact cutoff: a return within the limit is the true distance,
+  // so the comparison below is the one the unbounded path would make; a
+  // return past it proves sim_of(d) < min_sim by monotonicity.
+  return BoundedLevenshtein(a, b, limit, &DpScratch::Tls()) <= limit;
+}
+
+}  // namespace emx

@@ -8,6 +8,13 @@ namespace emx {
 // Character-sequence similarity measures. All Similarity() variants return a
 // score in [0, 1] where 1 means identical; raw distances/scores are exposed
 // separately where the unnormalized value is meaningful.
+//
+// Every measure here is kernel-backed: Levenshtein runs Myers' bit-parallel
+// algorithm and the DP measures borrow their rows/flags from the calling
+// thread's DpScratch (src/text/sequence_kernel.h), so none of them allocate
+// once the scratch has warmed up. Results are BIT-IDENTICAL to the scalar
+// implementations, which are retained in namespace `oracle` below as the
+// equivalence reference for tests and benches.
 
 // Unit-cost edit distance (insert / delete / substitute).
 int LevenshteinDistance(std::string_view a, std::string_view b);
@@ -44,6 +51,29 @@ double HammingSimilarity(std::string_view a, std::string_view b);
 
 // 1.0 if equal else 0.0.
 double ExactMatch(std::string_view a, std::string_view b);
+
+// The pre-kernel scalar implementations, byte for byte the seed versions
+// (heap-allocated DP rows, std::vector<bool> match flags). They are the
+// equivalence ORACLE: tests/sequence_kernel_test.cc asserts the kernel paths
+// above reproduce these bit-exactly on a randomized corpus, and
+// bench_similarity reports before/after against them. Not for hot paths.
+namespace oracle {
+
+int LevenshteinDistance(std::string_view a, std::string_view b);
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+double JaroSimilarity(std::string_view a, std::string_view b);
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double p = 0.1);
+double NeedlemanWunschScore(std::string_view a, std::string_view b,
+                            double match = 1.0, double mismatch = -0.5,
+                            double gap = -0.5);
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b);
+double SmithWatermanScore(std::string_view a, std::string_view b,
+                          double match = 1.0, double mismatch = -0.5,
+                          double gap = -0.5);
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace oracle
 
 }  // namespace emx
 
