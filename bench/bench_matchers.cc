@@ -1,12 +1,36 @@
 // P3 — matcher train/predict throughput on the case study's real feature
 // matrix: how expensive is each of the six §9 families to cross-validate,
 // and how fast is bulk prediction over the candidate set.
+//
+// Modes:
+//   bench_matchers                   google-benchmark micro-benches (as
+//                                    before)
+//   bench_matchers --forest          flattened-forest before/after on the
+//                                    case-study fixture: single-thread
+//                                    pointer-walk vs flat vs columnar batch
+//                                    inference; writes BENCH_forest.json
+//   bench_matchers --smoke BASELINE  small deterministic fixture; writes
+//                                    BENCH_forest.json, compares the
+//                                    measured flat-vs-treewalk speedup
+//                                    against "speedup_flat_vs_treewalk" in
+//                                    BASELINE and exits 1 when flat
+//                                    inference has regressed more than 2x
+//                                    vs it
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <thread>
+
 #include "src/core/executor.h"
+#include "src/core/random.h"
 #include "src/datagen/case_study.h"
 #include "src/datagen/preprocess.h"
+#include "src/feature/pair_batch.h"
 #include "src/ml/decision_tree.h"
 #include "src/ml/linear_regression.h"
 #include "src/ml/linear_svm.h"
@@ -122,6 +146,197 @@ void BM_PredictRandomForestThreads(benchmark::State& state) {
 BENCHMARK(BM_PredictRandomForestThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// --- flattened-forest before/after (--forest / --smoke) ---------------------
+
+double TimeMs(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct ForestMeasurement {
+  size_t rows = 0;
+  size_t trees = 0;
+  size_t nodes = 0;
+  double treewalk_ms = 0;  // pointer-walking baseline, 1 thread
+  double flat_ms = 0;      // flattened nodes, row-major input, 1 thread
+  double batch_ms = 0;     // flattened nodes, columnar PairBatch, 1 thread
+  double speedup() const {
+    return flat_ms > 0 ? treewalk_ms / flat_ms : 0;
+  }
+  double batch_speedup() const {
+    return batch_ms > 0 ? treewalk_ms / batch_ms : 0;
+  }
+};
+
+// Single-thread inference over `rows`: the pointer walk (ParallelMap per
+// tree + per-tree probability vectors, the pre-flattening engine, retained
+// as PredictProbaTreeWalk) vs the flattened forest, through both the
+// row-major and the columnar entry points. All three produce bit-identical
+// probabilities — only wall-clock differs.
+ForestMeasurement MeasureForest(const RandomForestMatcher& forest,
+                                const std::vector<std::vector<double>>& rows,
+                                int reps) {
+  ForestMeasurement m;
+  m.rows = rows.size();
+  m.trees = forest.num_trees();
+  m.nodes = forest.flat_forest().num_nodes();
+  PairBatch batch = PairBatch::FromRows(rows);
+  m.treewalk_ms =
+      TimeMs([&] { benchmark::DoNotOptimize(forest.PredictProbaTreeWalk(rows)); },
+             reps);
+  m.flat_ms = TimeMs(
+      [&] { benchmark::DoNotOptimize(forest.PredictProba(rows)); }, reps);
+  m.batch_ms = TimeMs(
+      [&] { benchmark::DoNotOptimize(forest.PredictProbaBatch(batch)); }, reps);
+  return m;
+}
+
+int WriteForestJson(const ForestMeasurement& m, const char* fixture) {
+  std::FILE* f = std::fopen("BENCH_forest.json", "w");
+  if (!f) return 1;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"fixture\": \"%s\",\n", fixture);
+  std::fprintf(f, "  \"rows\": %zu,\n", m.rows);
+  std::fprintf(f, "  \"trees\": %zu,\n", m.trees);
+  std::fprintf(f, "  \"flat_nodes\": %zu,\n", m.nodes);
+  std::fprintf(f, "  \"speedup_flat_vs_treewalk\": %.2f,\n", m.speedup());
+  std::fprintf(f, "  \"speedup_batch_vs_treewalk\": %.2f,\n",
+               m.batch_speedup());
+  std::fprintf(f, "  \"results\": [\n");
+  std::fprintf(f,
+               "    {\"stage\": \"predict_treewalk\", \"threads\": 1, "
+               "\"wall_ms\": %.3f},\n",
+               m.treewalk_ms);
+  std::fprintf(f,
+               "    {\"stage\": \"predict_flat\", \"threads\": 1, "
+               "\"wall_ms\": %.3f},\n",
+               m.flat_ms);
+  std::fprintf(f,
+               "    {\"stage\": \"predict_flat_batch\", \"threads\": 1, "
+               "\"wall_ms\": %.3f}\n",
+               m.batch_ms);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_forest.json\n");
+  return 0;
+}
+
+void PrintForest(const ForestMeasurement& m) {
+  std::printf("rows=%zu trees=%zu flat_nodes=%zu\n", m.rows, m.trees, m.nodes);
+  std::printf("%-22s %10s\n", "stage", "wall_ms");
+  std::printf("%-22s %10.3f\n", "predict_treewalk", m.treewalk_ms);
+  std::printf("%-22s %10.3f\n", "predict_flat", m.flat_ms);
+  std::printf("%-22s %10.3f\n", "predict_flat_batch", m.batch_ms);
+  std::printf("speedup_flat_vs_treewalk=%.2fx (1 thread)\n", m.speedup());
+  std::printf("speedup_batch_vs_treewalk=%.2fx (1 thread)\n",
+              m.batch_speedup());
+}
+
+int RunForest() {
+  const Fixture& f = GetFixture();
+  Executor pool1(1);
+  ExecutorContext ctx1{&pool1};
+  RandomForestMatcher forest;
+  forest.set_executor(ctx1);
+  if (!forest.Fit(f.train).ok()) return 1;
+  ForestMeasurement m = MeasureForest(forest, f.predict_rows, /*reps=*/20);
+  PrintForest(m);
+  return WriteForestJson(m, "case_study");
+}
+
+// Extracts "key": <number> from a JSON file with a text scan (no JSON dep).
+bool ReadJsonNumber(const char* path, const char* key, double* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::string needle = std::string("\"") + key + "\"";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + 1, nullptr);
+  return true;
+}
+
+// Small deterministic fixture for CI: Gaussian blobs wide enough that the
+// forest grows real depth, and a probe set large enough to time — no
+// case-study generation, so the smoke run stays fast.
+Dataset SmokeTrainSet(size_t n_pos, size_t n_neg, uint64_t seed) {
+  RandomEngine rng(seed);
+  Dataset d;
+  d.feature_names = {"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7"};
+  for (size_t i = 0; i < n_pos + n_neg; ++i) {
+    bool pos = i < n_pos;
+    double center = pos ? 1.0 : -1.0;
+    std::vector<double> row;
+    for (size_t k = 0; k < 8; ++k) {
+      row.push_back(center + 1.2 * rng.NextGaussian());
+    }
+    d.x.push_back(std::move(row));
+    d.y.push_back(pos ? 1 : 0);
+  }
+  return d;
+}
+
+int RunSmoke(const char* baseline_path) {
+  double baseline = 0;
+  if (!ReadJsonNumber(baseline_path, "speedup_flat_vs_treewalk", &baseline) ||
+      baseline <= 0) {
+    std::fprintf(stderr,
+                 "smoke: cannot read speedup_flat_vs_treewalk from %s\n",
+                 baseline_path);
+    return 1;
+  }
+
+  Executor pool1(1);
+  ExecutorContext ctx1{&pool1};
+  RandomForestMatcher forest;
+  forest.set_executor(ctx1);
+  if (!forest.Fit(SmokeTrainSet(300, 300, 77)).ok()) return 1;
+  Dataset probe = SmokeTrainSet(4000, 4000, 78);
+  ForestMeasurement m = MeasureForest(forest, probe.x, /*reps=*/10);
+  PrintForest(m);
+
+  double measured = m.speedup();
+  std::printf("smoke: measured flat speedup %.2fx, baseline %.2fx\n", measured,
+              baseline);
+  // The gate is a RATIO of two same-host measurements, so it transfers
+  // across hardware: flat inference losing >2x of its advantage over the
+  // retained pointer walk (vs what the baseline recorded) fails the build.
+  if (measured < baseline / 2.0) {
+    std::fprintf(stderr,
+                 "smoke: FAIL — flat-vs-treewalk speedup %.2fx fell below "
+                 "half the baseline %.2fx (flat inference regressed >2x)\n",
+                 measured, baseline);
+    return (void)WriteForestJson(m, "smoke"), 1;
+  }
+  std::printf("smoke: OK\n");
+  return WriteForestJson(m, "smoke");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--forest") == 0) return RunForest();
+  if (argc == 3 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSmoke(argv[2]);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

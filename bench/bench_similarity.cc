@@ -37,6 +37,7 @@
 #include "src/datagen/case_study.h"
 #include "src/datagen/preprocess.h"
 #include "src/datagen/vocab.h"
+#include "src/text/batch_kernel.h"
 #include "src/text/phonetic.h"
 #include "src/text/sequence_kernel.h"
 #include "src/text/sequence_similarity.h"
@@ -173,11 +174,42 @@ double NsPerPair(const PairCorpus& corpus, int reps,
   return corpus.empty() ? 0.0 : best / static_cast<double>(corpus.size());
 }
 
+using BatchSimFn = void (*)(const std::string_view*, const std::string_view*,
+                            size_t, double*);
+
+// Times one columnar batch call over the whole corpus, best of `reps`,
+// returns ns/pair. The lane arrays are built once outside the timed region —
+// in production VectorizePairsBatch amortizes the gather the same way.
+double NsPerPairBatch(const PairCorpus& corpus, int reps, BatchSimFn fn) {
+  std::vector<std::string_view> av, bv;
+  av.reserve(corpus.size());
+  bv.reserve(corpus.size());
+  for (const auto& [a, b] : corpus) {
+    av.push_back(a);
+    bv.push_back(b);
+  }
+  std::vector<double> out(corpus.size());
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn(av.data(), bv.data(), av.size(), out.data());
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  benchmark::DoNotOptimize(out.data());
+  return corpus.empty() ? 0.0 : best / static_cast<double>(corpus.size());
+}
+
 struct MeasureRow {
   const char* name;
   double scalar_ns = 0;
   double kernel_ns = 0;
+  double batch_ns = 0;
   double speedup() const { return kernel_ns > 0 ? scalar_ns / kernel_ns : 0; }
+  double batch_speedup() const {
+    return batch_ns > 0 ? scalar_ns / batch_ns : 0;
+  }
 };
 
 // One before/after row per sequence measure over `corpus`.
@@ -186,46 +218,61 @@ std::vector<MeasureRow> MeasureSequenceKernels(const PairCorpus& corpus,
   std::vector<MeasureRow> rows;
   auto add = [&](const char* name,
                  double (*kernel)(std::string_view, std::string_view),
-                 double (*scalar)(std::string_view, std::string_view)) {
+                 double (*scalar)(std::string_view, std::string_view),
+                 BatchSimFn batch) {
     MeasureRow r{name};
     // Warm-up pass grows every thread-local scratch lane to its high-water
     // mark so the kernel numbers reflect steady state, as in feature gen.
     for (const auto& [a, b] : corpus) benchmark::DoNotOptimize(kernel(a, b));
     r.kernel_ns = NsPerPair(corpus, reps, kernel);
     r.scalar_ns = NsPerPair(corpus, reps, scalar);
+    r.batch_ns = NsPerPairBatch(corpus, reps, batch);
     rows.push_back(r);
   };
-  add("levenshtein", LevenshteinSimilarity, oracle::LevenshteinSimilarity);
-  add("jaro", JaroSimilarity, oracle::JaroSimilarity);
+  add("levenshtein", LevenshteinSimilarity, oracle::LevenshteinSimilarity,
+      LevenshteinSimilarityBatch);
+  add("jaro", JaroSimilarity, oracle::JaroSimilarity, JaroSimilarityBatch);
   add("jaro_winkler",
       [](std::string_view a, std::string_view b) {
         return JaroWinklerSimilarity(a, b);
       },
       [](std::string_view a, std::string_view b) {
         return oracle::JaroWinklerSimilarity(a, b);
-      });
+      },
+      [](const std::string_view* a, const std::string_view* b, size_t n,
+         double* out) { JaroWinklerSimilarityBatch(a, b, n, out); });
   add("needleman_wunsch",
       [](std::string_view a, std::string_view b) {
         return NeedlemanWunschSimilarity(a, b);
       },
       [](std::string_view a, std::string_view b) {
         return oracle::NeedlemanWunschSimilarity(a, b);
-      });
+      },
+      NeedlemanWunschSimilarityBatch);
   add("smith_waterman",
       [](std::string_view a, std::string_view b) {
         return SmithWatermanSimilarity(a, b);
       },
       [](std::string_view a, std::string_view b) {
         return oracle::SmithWatermanSimilarity(a, b);
-      });
+      },
+      SmithWatermanSimilarityBatch);
   add("affine_gap",
       [](std::string_view a, std::string_view b) {
         return AffineGapSimilarity(a, b);
       },
       [](std::string_view a, std::string_view b) {
         return oracle::AffineGapSimilarity(a, b);
-      });
+      },
+      AffineGapSimilarityBatch);
   return rows;
+}
+
+double BatchSpeedupOf(const std::vector<MeasureRow>& rows, const char* name) {
+  for (const auto& r : rows) {
+    if (std::strcmp(r.name, name) == 0) return r.batch_speedup();
+  }
+  return 0;
 }
 
 double LevSpeedup(const std::vector<MeasureRow>& rows) {
@@ -274,11 +321,14 @@ int RunSeq() {
               sweep_reliable ? "" : "  (1 CPU: timings UNRELIABLE)");
   std::printf("pairs=%zu (case-study candidate set, title + name attrs)\n",
               corpus.size());
-  std::printf("%-18s %14s %14s %9s\n", "measure", "scalar_ns", "kernel_ns",
-              "speedup");
+  std::printf("simd_level=%d (0=scalar 1=sse2 2=avx2)\n",
+              static_cast<int>(ActiveSimdLevel()));
+  std::printf("%-18s %12s %12s %12s %8s %8s\n", "measure", "scalar_ns",
+              "kernel_ns", "batch_ns", "kernel", "batch");
   for (const auto& r : rows) {
-    std::printf("%-18s %14.1f %14.1f %8.2fx\n", r.name, r.scalar_ns,
-                r.kernel_ns, r.speedup());
+    std::printf("%-18s %12.1f %12.1f %12.1f %7.2fx %7.2fx\n", r.name,
+                r.scalar_ns, r.kernel_ns, r.batch_ns, r.speedup(),
+                r.batch_speedup());
   }
 
   std::FILE* f = std::fopen("BENCH_sequence.json", "w");
@@ -288,16 +338,25 @@ int RunSeq() {
   std::fprintf(f, "  \"sweep_reliable\": %s,\n",
                sweep_reliable ? "true" : "false");
   std::fprintf(f, "  \"pairs\": %zu,\n", corpus.size());
+  std::fprintf(f, "  \"simd_level\": %d,\n",
+               static_cast<int>(ActiveSimdLevel()));
   std::fprintf(f, "  \"speedup_kernel_vs_scalar_lev\": %.2f,\n",
                LevSpeedup(rows));
+  std::fprintf(f, "  \"speedup_batch_vs_scalar_jaro\": %.2f,\n",
+               BatchSpeedupOf(rows, "jaro"));
+  std::fprintf(f, "  \"speedup_batch_vs_scalar_nw\": %.2f,\n",
+               BatchSpeedupOf(rows, "needleman_wunsch"));
+  std::fprintf(f, "  \"speedup_batch_vs_scalar_sw\": %.2f,\n",
+               BatchSpeedupOf(rows, "smith_waterman"));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     std::fprintf(f,
                  "    {\"measure\": \"%s\", \"scalar_ns_per_pair\": %.1f, "
-                 "\"kernel_ns_per_pair\": %.1f, \"speedup\": %.2f}%s\n",
-                 r.name, r.scalar_ns, r.kernel_ns, r.speedup(),
-                 i + 1 == rows.size() ? "" : ",");
+                 "\"kernel_ns_per_pair\": %.1f, \"batch_ns_per_pair\": %.1f, "
+                 "\"speedup\": %.2f, \"batch_speedup\": %.2f}%s\n",
+                 r.name, r.scalar_ns, r.kernel_ns, r.batch_ns, r.speedup(),
+                 r.batch_speedup(), i + 1 == rows.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -377,8 +436,11 @@ int RunSmoke(const char* baseline_path) {
 
   std::printf("host_cpus=%u\n", std::thread::hardware_concurrency());
   for (const auto& r : rows) {
-    std::printf("smoke: %-18s scalar=%.1fns kernel=%.1fns %.2fx\n", r.name,
-                r.scalar_ns, r.kernel_ns, r.speedup());
+    std::printf(
+        "smoke: %-18s scalar=%.1fns kernel=%.1fns batch=%.1fns "
+        "%.2fx/%.2fx\n",
+        r.name, r.scalar_ns, r.kernel_ns, r.batch_ns, r.speedup(),
+        r.batch_speedup());
   }
   std::printf("smoke: measured lev speedup %.2fx, baseline %.2fx\n", measured,
               baseline);

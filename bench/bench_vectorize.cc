@@ -85,9 +85,13 @@ struct Measurement {
   double prep_ms = 0;
   double legacy_ms = 0;            // 1 thread, unprepared
   double prepared_ms = 0;          // 1 thread, warm cache
+  double batch_ms = 0;             // 1 thread, warm cache, columnar SoA
   size_t pairs = 0;
   std::vector<std::pair<size_t, double>> sweep;  // (threads, prepared wall_ms)
   double speedup() const { return legacy_ms / prepared_ms; }
+  double batch_speedup() const {
+    return batch_ms > 0 ? legacy_ms / batch_ms : 0;
+  }
 };
 
 Measurement Measure(const Table& left, const Table& right,
@@ -114,6 +118,13 @@ Measurement Measure(const Table& left, const Table& right,
   m.prepared_ms = TimeMs([&] {
     auto r = VectorizePairs(left, right, pairs, features, ctx1, &warm);
     if (!r.ok() || r->rows.empty()) std::abort();
+  });
+
+  // The columnar hot path: SoA output, feature-major evaluation, batch
+  // similarity kernels. Same doubles as the two row-major stages above.
+  m.batch_ms = TimeMs([&] {
+    auto r = VectorizePairsBatch(left, right, pairs, features, ctx1, &warm);
+    if (!r.ok() || r->empty()) std::abort();
   });
 
   if (sweep_threads) {
@@ -162,7 +173,10 @@ int RunFull() {
               PairsPerSec(m.pairs, m.legacy_ms));
   std::printf("%-22s %10.2f %14.0f\n", "vectorize_prepared", m.prepared_ms,
               PairsPerSec(m.pairs, m.prepared_ms));
+  std::printf("%-22s %10.2f %14.0f\n", "vectorize_batch", m.batch_ms,
+              PairsPerSec(m.pairs, m.batch_ms));
   std::printf("speedup_prepared_vs_legacy=%.2fx (1 thread)\n", m.speedup());
+  std::printf("speedup_batch_vs_legacy=%.2fx (1 thread)\n", m.batch_speedup());
   for (auto& [t, ms] : m.sweep) {
     std::printf("prepared @%zu threads: %10.2f ms  %14.0f pairs/s\n", t, ms,
                 PairsPerSec(m.pairs, ms));
@@ -178,11 +192,16 @@ int RunFull() {
   std::fprintf(f, "  \"features\": %zu,\n", features->features.size());
   std::fprintf(f, "  \"prep_ms\": %.2f,\n", m.prep_ms);
   std::fprintf(f, "  \"speedup_prepared_vs_legacy\": %.2f,\n", m.speedup());
+  std::fprintf(f, "  \"speedup_batch_vs_legacy\": %.2f,\n", m.batch_speedup());
   std::fprintf(f, "  \"results\": [\n");
   std::fprintf(f,
                "    {\"stage\": \"vectorize_legacy\", \"threads\": 1, "
                "\"wall_ms\": %.2f, \"pairs_per_sec\": %.0f},\n",
                m.legacy_ms, PairsPerSec(m.pairs, m.legacy_ms));
+  std::fprintf(f,
+               "    {\"stage\": \"vectorize_batch\", \"threads\": 1, "
+               "\"wall_ms\": %.2f, \"pairs_per_sec\": %.0f},\n",
+               m.batch_ms, PairsPerSec(m.pairs, m.batch_ms));
   for (size_t i = 0; i < m.sweep.size(); ++i) {
     auto& [t, ms] = m.sweep[i];
     std::fprintf(f,
@@ -270,8 +289,11 @@ int RunSmoke(const char* baseline_path) {
   double measured = m.speedup();
   unsigned host_cpus = std::thread::hardware_concurrency();
   std::printf("host_cpus=%u\n", host_cpus);
-  std::printf("smoke: pairs=%zu features=%zu legacy=%.2fms prepared=%.2fms\n",
-              m.pairs, features->features.size(), m.legacy_ms, m.prepared_ms);
+  std::printf(
+      "smoke: pairs=%zu features=%zu legacy=%.2fms prepared=%.2fms "
+      "batch=%.2fms (batch %.2fx)\n",
+      m.pairs, features->features.size(), m.legacy_ms, m.prepared_ms,
+      m.batch_ms, m.batch_speedup());
   std::printf("smoke: measured speedup %.2fx, baseline %.2fx\n", measured,
               baseline);
   // The gate is a RATIO of two same-host measurements, so it transfers

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/core/strings.h"
+#include "src/text/batch_kernel.h"
 #include "src/text/numeric_similarity.h"
 #include "src/text/phonetic.h"
 #include "src/text/sequence_similarity.h"
@@ -31,11 +32,13 @@ std::string_view PrepView(const Value& v, bool lowercase, std::string* buf) {
 }
 
 // Builds a string feature: scorer over two normalized strings, evaluable
-// either per pair (fn) or against cached prepped columns (prep_fn).
+// per pair (fn), against cached prepped columns (prep_fn), or a whole
+// column at a time (batch_fn, when the measure has a batch kernel).
 template <typename Fn>
 Feature StringFeature(std::string name, const std::string& left_attr,
                       const std::string& right_attr, Fn scorer,
-                      bool lowercase) {
+                      bool lowercase,
+                      Feature::BatchScoreFn batch_fn = nullptr) {
   Feature f;
   f.name = std::move(name);
   f.left_attr = left_attr;
@@ -51,6 +54,7 @@ Feature StringFeature(std::string name, const std::string& left_attr,
     if (lc.is_null(i) || rc.is_null(j)) return kNaN;
     return scorer(lc.text(i), rc.text(j));
   };
+  f.batch_fn = batch_fn;
   return f;
 }
 
@@ -135,7 +139,7 @@ Feature MakeExactMatchFeature(const std::string& left_attr,
   return StringFeature(
       FeatName(left_attr, "exact", lowercase), left_attr, right_attr,
       [](std::string_view a, std::string_view b) { return ExactMatch(a, b); },
-      lowercase);
+      lowercase, &ExactMatchBatch);
 }
 
 Feature MakeLevenshteinFeature(const std::string& left_attr,
@@ -145,7 +149,7 @@ Feature MakeLevenshteinFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return LevenshteinSimilarity(a, b);
       },
-      lowercase);
+      lowercase, &LevenshteinSimilarityBatch);
 }
 
 Feature MakeJaroFeature(const std::string& left_attr,
@@ -155,7 +159,7 @@ Feature MakeJaroFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return JaroSimilarity(a, b);
       },
-      lowercase);
+      lowercase, &JaroSimilarityBatch);
 }
 
 Feature MakeJaroWinklerFeature(const std::string& left_attr,
@@ -165,7 +169,9 @@ Feature MakeJaroWinklerFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return JaroWinklerSimilarity(a, b);
       },
-      lowercase);
+      lowercase,
+      +[](const std::string_view* a, const std::string_view* b, size_t n,
+          double* out) { JaroWinklerSimilarityBatch(a, b, n, out); });
 }
 
 Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
@@ -176,7 +182,7 @@ Feature MakeNeedlemanWunschFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return NeedlemanWunschSimilarity(a, b);
       },
-      lowercase);
+      lowercase, &NeedlemanWunschSimilarityBatch);
 }
 
 Feature MakeSmithWatermanFeature(const std::string& left_attr,
@@ -187,7 +193,7 @@ Feature MakeSmithWatermanFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return SmithWatermanSimilarity(a, b);
       },
-      lowercase);
+      lowercase, &SmithWatermanSimilarityBatch);
 }
 
 Feature MakeAffineGapFeature(const std::string& left_attr,
@@ -197,7 +203,7 @@ Feature MakeAffineGapFeature(const std::string& left_attr,
       [](std::string_view a, std::string_view b) {
         return AffineGapSimilarity(a, b);
       },
-      lowercase);
+      lowercase, &AffineGapSimilarityBatch);
 }
 
 Feature MakeJaccardFeature(const std::string& left_attr,

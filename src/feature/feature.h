@@ -32,6 +32,13 @@ struct FeaturePrepSpec {
 // bit for bit, with no per-pair allocation. Both PreparedColumns passed to
 // one prep_fn call must come from the SAME PrepCache (shared interner).
 struct Feature {
+  // Columnar scorer: out[i] = score of (a[i], b[i]) for n contiguous lanes
+  // of already-normalized text. Plain function pointer — every batch kernel
+  // is a stateless free function from src/text/batch_kernel.h.
+  using BatchScoreFn = void (*)(const std::string_view* a,
+                                const std::string_view* b, size_t n,
+                                double* out);
+
   std::string name;        // e.g. "AwardTitle_jac_ws"
   std::string left_attr;
   std::string right_attr;
@@ -40,8 +47,11 @@ struct Feature {
   std::function<double(const PreparedColumn&, size_t, const PreparedColumn&,
                        size_t)>
       prep_fn;             // empty for numeric/date features
+  BatchScoreFn batch_fn = nullptr;  // set for character-sequence features;
+                                    // bit-identical to prep_fn per lane
 
   bool has_prep() const { return static_cast<bool>(prep_fn); }
+  bool has_batch() const { return batch_fn != nullptr; }
 };
 
 // Named similarity-function factories. `lowercase` pre-lowercases both

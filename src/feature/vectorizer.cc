@@ -1,6 +1,8 @@
 #include "src/feature/vectorizer.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "src/text/tokenizer.h"
@@ -16,22 +18,21 @@ std::unique_ptr<Tokenizer> TokenizerForSpec(const FeaturePrepSpec& spec) {
   return std::make_unique<WhitespaceTokenizer>();
 }
 
-Result<FeatureMatrix> VectorizeImpl(const Table& left, const Table& right,
-                                    const CandidateSet& pairs,
-                                    const FeatureSet& features,
-                                    const ExecutorContext& ctx,
-                                    PrepCache* cache, bool use_prepared) {
-  // Resolve attribute columns once; features with a prepared evaluator bind
-  // to PreparedColumns built once per (column, prep spec) — each record is
-  // prepped a single time no matter how many pairs it appears in.
-  struct Bound {
-    const std::vector<Value>* lcol;
-    const std::vector<Value>* rcol;
-    std::shared_ptr<const PreparedColumn> lprep;  // null -> legacy fn
-    std::shared_ptr<const PreparedColumn> rprep;
-  };
-  PrepCache local_cache;
-  PrepCache& prep_cache = cache != nullptr ? *cache : local_cache;
+// Attribute columns a feature reads, resolved once; features with a prepared
+// evaluator bind to PreparedColumns built once per (column, prep spec) —
+// each record is prepped a single time no matter how many pairs it appears
+// in.
+struct Bound {
+  const std::vector<Value>* lcol;
+  const std::vector<Value>* rcol;
+  std::shared_ptr<const PreparedColumn> lprep;  // null -> legacy fn
+  std::shared_ptr<const PreparedColumn> rprep;
+};
+
+Result<std::vector<Bound>> BindFeatures(const Table& left, const Table& right,
+                                        const FeatureSet& features,
+                                        PrepCache& prep_cache,
+                                        bool use_prepared) {
   std::vector<Bound> bound;
   bound.reserve(features.features.size());
   for (const Feature& f : features.features) {
@@ -48,24 +49,38 @@ Result<FeatureMatrix> VectorizeImpl(const Table& left, const Table& right,
     }
     bound.push_back(std::move(b));
   }
+  return bound;
+}
 
+Result<FeatureMatrix> VectorizeImpl(const Table& left, const Table& right,
+                                    const CandidateSet& pairs,
+                                    const FeatureSet& features,
+                                    const ExecutorContext& ctx,
+                                    PrepCache* cache, bool use_prepared) {
+  PrepCache local_cache;
+  PrepCache& prep_cache = cache != nullptr ? *cache : local_cache;
+  EMX_ASSIGN_OR_RETURN(
+      std::vector<Bound> bound,
+      BindFeatures(left, right, features, prep_cache, use_prepared));
+
+  const size_t width = features.features.size();
   FeatureMatrix m;
   m.feature_names = features.names();
+  // The full pairs.size() x width shape is known here; size every row up
+  // front and fill by index, rather than growing each row behind push_back.
   m.rows.resize(pairs.size());
   ctx.get().ParallelFor(0, pairs.size(), /*grain=*/0, [&](size_t lo,
                                                           size_t hi) {
     for (size_t r = lo; r < hi; ++r) {
       const RecordPair& p = pairs[r];
       std::vector<double>& row = m.rows[r];
-      row.reserve(features.features.size());
-      for (size_t i = 0; i < features.features.size(); ++i) {
+      row.resize(width);
+      for (size_t i = 0; i < width; ++i) {
         const Feature& f = features.features[i];
         if (bound[i].lprep != nullptr) {
-          row.push_back(
-              f.prep_fn(*bound[i].lprep, p.left, *bound[i].rprep, p.right));
+          row[i] = f.prep_fn(*bound[i].lprep, p.left, *bound[i].rprep, p.right);
         } else {
-          row.push_back(
-              f.fn((*bound[i].lcol)[p.left], (*bound[i].rcol)[p.right]));
+          row[i] = f.fn((*bound[i].lcol)[p.left], (*bound[i].rcol)[p.right]);
         }
       }
     }
@@ -75,13 +90,80 @@ Result<FeatureMatrix> VectorizeImpl(const Table& left, const Table& right,
 
 }  // namespace
 
+Result<PairBatch> VectorizePairsBatch(const Table& left, const Table& right,
+                                      const CandidateSet& pairs,
+                                      const FeatureSet& features,
+                                      const ExecutorContext& ctx,
+                                      PrepCache* cache) {
+  PrepCache local_cache;
+  PrepCache& prep_cache = cache != nullptr ? *cache : local_cache;
+  EMX_ASSIGN_OR_RETURN(
+      std::vector<Bound> bound,
+      BindFeatures(left, right, features, prep_cache, /*use_prepared=*/true));
+
+  const size_t width = features.features.size();
+  PairBatch batch(pairs.size(), width);
+  batch.feature_names = features.names();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  // Feature-major within each chunk: every feature sweeps the chunk's lanes
+  // before the next feature starts, writing its contiguous column slice.
+  // Chunks are disjoint pair ranges, so any thread count writes the same
+  // cells with the same values.
+  ctx.get().ParallelFor(0, pairs.size(), /*grain=*/0, [&](size_t lo,
+                                                          size_t hi) {
+    // Gather/scatter staging for the batch kernels, reused across features
+    // and chunks on this thread.
+    thread_local std::vector<std::string_view> ga, gb;
+    thread_local std::vector<double> scores;
+    thread_local std::vector<uint32_t> lanes;
+    for (size_t i = 0; i < width; ++i) {
+      const Feature& f = features.features[i];
+      double* col = batch.Column(i);
+      const Bound& b = bound[i];
+      if (b.lprep != nullptr && f.has_batch()) {
+        // Null lanes score NaN directly; the rest gather into contiguous
+        // view arrays for one batch-kernel call over the whole chunk.
+        ga.clear();
+        gb.clear();
+        lanes.clear();
+        for (size_t r = lo; r < hi; ++r) {
+          const RecordPair& p = pairs[r];
+          if (b.lprep->is_null(p.left) || b.rprep->is_null(p.right)) {
+            col[r] = kNaN;
+          } else {
+            lanes.push_back(static_cast<uint32_t>(r));
+            ga.push_back(b.lprep->text(p.left));
+            gb.push_back(b.rprep->text(p.right));
+          }
+        }
+        scores.resize(ga.size());
+        f.batch_fn(ga.data(), gb.data(), ga.size(), scores.data());
+        for (size_t k = 0; k < lanes.size(); ++k) col[lanes[k]] = scores[k];
+      } else if (b.lprep != nullptr) {
+        for (size_t r = lo; r < hi; ++r) {
+          const RecordPair& p = pairs[r];
+          col[r] = f.prep_fn(*b.lprep, p.left, *b.rprep, p.right);
+        }
+      } else {
+        for (size_t r = lo; r < hi; ++r) {
+          const RecordPair& p = pairs[r];
+          col[r] = f.fn((*b.lcol)[p.left], (*b.rcol)[p.right]);
+        }
+      }
+    }
+  });
+  return batch;
+}
+
 Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                                      const CandidateSet& pairs,
                                      const FeatureSet& features,
                                      const ExecutorContext& ctx,
                                      PrepCache* cache) {
-  return VectorizeImpl(left, right, pairs, features, ctx, cache,
-                       /*use_prepared=*/true);
+  EMX_ASSIGN_OR_RETURN(
+      PairBatch batch,
+      VectorizePairsBatch(left, right, pairs, features, ctx, cache));
+  return batch.ToMatrix();
 }
 
 Result<FeatureMatrix> VectorizePairsUnprepared(const Table& left,
@@ -110,6 +192,23 @@ void MeanImputer::Fit(const FeatureMatrix& matrix) {
   }
 }
 
+void MeanImputer::Fit(const PairBatch& batch) {
+  size_t w = batch.num_features();
+  means_.assign(w, 0.0);
+  for (size_t c = 0; c < w; ++c) {
+    const double* col = batch.Column(c);
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < batch.num_pairs(); ++i) {
+      if (!std::isnan(col[i])) {
+        sum += col[i];
+        ++count;
+      }
+    }
+    means_[c] = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+}
+
 Status MeanImputer::Transform(FeatureMatrix& matrix) const {
   if (matrix.num_features() != means_.size()) {
     return Status::InvalidArgument(
@@ -119,6 +218,21 @@ Status MeanImputer::Transform(FeatureMatrix& matrix) const {
   for (auto& row : matrix.rows) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (std::isnan(row[c])) row[c] = means_[c];
+    }
+  }
+  return Status::OK();
+}
+
+Status MeanImputer::Transform(PairBatch& batch) const {
+  if (batch.num_features() != means_.size()) {
+    return Status::InvalidArgument(
+        "MeanImputer: batch width " + std::to_string(batch.num_features()) +
+        " != fitted width " + std::to_string(means_.size()));
+  }
+  for (size_t c = 0; c < batch.num_features(); ++c) {
+    double* col = batch.Column(c);
+    for (size_t i = 0; i < batch.num_pairs(); ++i) {
+      if (std::isnan(col[i])) col[i] = means_[c];
     }
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 #include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/feature/feature_gen.h"
+#include "src/feature/pair_batch.h"
 #include "src/table/table.h"
 
 namespace emx {
@@ -31,6 +32,18 @@ Result<FeatureMatrix> VectorizePairs(const Table& left, const Table& right,
                                      const ExecutorContext& ctx = {},
                                      PrepCache* cache = nullptr);
 
+// The columnar hot path: same prep and the same doubles as VectorizePairs
+// (bit for bit), but the result is a structure-of-arrays PairBatch and the
+// evaluation loop runs FEATURE-major within each executor chunk — features
+// with a batch kernel (the character-sequence measures) score a whole
+// chunk's worth of contiguous lanes per call through batch_kernel.h instead
+// of one pair at a time. VectorizePairs is a thin transpose over this.
+Result<PairBatch> VectorizePairsBatch(const Table& left, const Table& right,
+                                      const CandidateSet& pairs,
+                                      const FeatureSet& features,
+                                      const ExecutorContext& ctx = {},
+                                      PrepCache* cache = nullptr);
+
 // Forces every feature through its legacy per-pair Value fn, bypassing
 // prepared columns entirely. Equivalence oracle for tests and the
 // before/after measurement in bench_vectorize — not a production path.
@@ -48,11 +61,14 @@ class MeanImputer {
   MeanImputer() = default;
 
   // Learns per-column means over non-NaN entries. Columns that are all-NaN
-  // get mean 0.
+  // get mean 0. The PairBatch overload accumulates each column in the same
+  // ascending-pair order as the row-major walk — identical means.
   void Fit(const FeatureMatrix& matrix);
+  void Fit(const PairBatch& batch);
 
   // Replaces NaNs with the fitted means, in place. Fails if widths differ.
   Status Transform(FeatureMatrix& matrix) const;
+  Status Transform(PairBatch& batch) const;
 
   const std::vector<double>& means() const { return means_; }
 

@@ -33,7 +33,10 @@ Result<CvResult> CrossValidate(const MatcherFactory& factory,
       if (fold == 0) matcher_name = model->name();
       statuses[fold] = model->Fit(train);
       if (!statuses[fold].ok()) continue;
-      fold_metrics[fold] = ComputeMetrics(test.y, model->Predict(test.x));
+      // Columnar scoring path; PredictBatch(FromRows(x)) == Predict(x) by
+      // the PredictProbaBatch contract, so fold metrics are unchanged.
+      fold_metrics[fold] = ComputeMetrics(
+          test.y, model->PredictBatch(PairBatch::FromRows(test.x)));
     }
   });
   for (const Status& s : statuses) {
@@ -93,7 +96,7 @@ Result<std::vector<int>> LeaveOneOutPredictions(const MatcherFactory& factory,
       model->set_executor(ctx);
       statuses[i] = model->Fit(train);
       if (!statuses[i].ok()) continue;
-      out[i] = model->Predict({data.x[i]})[0];
+      out[i] = model->PredictBatch(PairBatch::FromRows({data.x[i]}))[0];
     }
   });
   for (const Status& s : statuses) {

@@ -48,6 +48,9 @@ class DecisionTreeMatcher : public MlMatcher {
   static Result<DecisionTreeMatcher> Deserialize(const std::string& text);
 
  private:
+  // FlatForest re-lays fitted trees into its contiguous inference format.
+  friend class FlatForest;
+
   struct Node {
     int feature = -1;          // -1 for leaves
     double threshold = 0.0;    // go left if x[feature] <= threshold

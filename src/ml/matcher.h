@@ -8,6 +8,7 @@
 
 #include "src/core/executor.h"
 #include "src/core/status.h"
+#include "src/feature/pair_batch.h"
 #include "src/ml/dataset.h"
 
 namespace emx {
@@ -31,6 +32,15 @@ class MlMatcher {
 
   // 0/1 labels at the 0.5 probability threshold.
   std::vector<int> Predict(const std::vector<std::vector<double>>& x) const;
+
+  // Match probability per pair of a columnar batch. The base implementation
+  // materializes rows and defers to PredictProba; matchers with a native
+  // batch path (RandomForestMatcher's flattened forest) override it. Must
+  // return exactly what PredictProba returns on the batch's rows.
+  virtual std::vector<double> PredictProbaBatch(const PairBatch& batch) const;
+
+  // 0/1 labels for a columnar batch at the 0.5 threshold.
+  std::vector<int> PredictBatch(const PairBatch& batch) const;
 
   virtual std::string name() const = 0;
 

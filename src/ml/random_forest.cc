@@ -59,6 +59,7 @@ Status RandomForestMatcher::Fit(const Dataset& data) {
     EMX_RETURN_IF_ERROR(s);
   }
   trees_ = std::move(trees);
+  flat_.Build(trees_);
   return Status::OK();
 }
 
@@ -120,10 +121,11 @@ Result<RandomForestMatcher> RandomForestMatcher::Deserialize(
     forest.trees_.push_back(std::move(tree));
     pos = end;
   }
+  forest.flat_.Build(forest.trees_);
   return forest;
 }
 
-std::vector<double> RandomForestMatcher::PredictProba(
+std::vector<double> RandomForestMatcher::PredictProbaTreeWalk(
     const std::vector<std::vector<double>>& x) const {
   std::vector<double> out(x.size(), 0.0);
   if (trees_.empty()) return out;
@@ -138,6 +140,22 @@ std::vector<double> RandomForestMatcher::PredictProba(
   }
   for (double& v : out) v /= static_cast<double>(trees_.size());
   return out;
+}
+
+std::vector<double> RandomForestMatcher::PredictProba(
+    const std::vector<std::vector<double>>& x) const {
+  if (flat_.empty()) return PredictProbaTreeWalk(x);
+  // The flat walk accumulates each row's leaf probabilities in the same
+  // tree order before one divide, so the doubles match the tree walk bit
+  // for bit — only the memory layout and the parallel axis (rows, not
+  // trees) change.
+  return flat_.PredictRows(x, executor_context());
+}
+
+std::vector<double> RandomForestMatcher::PredictProbaBatch(
+    const PairBatch& batch) const {
+  if (flat_.empty()) return MlMatcher::PredictProbaBatch(batch);
+  return flat_.PredictBatch(batch, executor_context());
 }
 
 }  // namespace emx

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/ml/decision_tree.h"
+#include "src/ml/forest_flat.h"
 #include "src/ml/matcher.h"
 
 namespace emx {
@@ -26,9 +27,21 @@ class RandomForestMatcher : public MlMatcher {
   explicit RandomForestMatcher(RandomForestOptions options = {});
 
   Status Fit(const Dataset& data) override;
+
+  // Scores through the flattened forest (rebuilt on every Fit/Deserialize);
+  // bit-identical to PredictProbaTreeWalk below.
   std::vector<double> PredictProba(
       const std::vector<std::vector<double>>& x) const override;
+  std::vector<double> PredictProbaBatch(const PairBatch& batch) const override;
   std::string name() const override { return "random_forest"; }
+
+  // The original pointer-walking ensemble prediction, retained as the
+  // equivalence oracle and the baseline bench_matchers measures the
+  // flattened representation against.
+  std::vector<double> PredictProbaTreeWalk(
+      const std::vector<std::vector<double>>& x) const;
+
+  const FlatForest& flat_forest() const { return flat_; }
 
   size_t num_trees() const { return trees_.size(); }
 
@@ -43,6 +56,7 @@ class RandomForestMatcher : public MlMatcher {
  private:
   RandomForestOptions options_;
   std::vector<DecisionTreeMatcher> trees_;
+  FlatForest flat_;
 };
 
 }  // namespace emx

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/strings.h"
+#include "src/text/set_similarity.h"
 
 namespace emx {
 
@@ -75,8 +76,14 @@ std::vector<std::string_view> PrepCache::TokenStringsSnapshot() const {
 }
 
 void PrepCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
+  // Token ids handed out by our interner may sit in the per-thread
+  // Monge-Elkan memo; dropping the prepared columns invalidates the memo's
+  // usefulness, so flush it rather than letting stale entries pin memory.
+  ClearMongeElkanMemo();
 }
 
 size_t PrepCache::entries() const {

@@ -1,6 +1,8 @@
 #include "src/rules/feature_rules.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "src/core/strings.h"
@@ -132,6 +134,54 @@ Result<std::vector<int>> FeatureRuleMatcher::FiringRule(
         out[i] = static_cast<int>(r);
         break;
       }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int>> FeatureRuleMatcher::Predict(
+    const PairBatch& batch) const {
+  EMX_ASSIGN_OR_RETURN(std::vector<int> firing, FiringRule(batch));
+  std::vector<int> out(firing.size());
+  for (size_t i = 0; i < firing.size(); ++i) out[i] = firing[i] >= 0 ? 1 : 0;
+  return out;
+}
+
+Result<std::vector<int>> FeatureRuleMatcher::FiringRule(
+    const PairBatch& batch) const {
+  std::vector<std::vector<std::pair<const double*, const FeaturePredicate*>>>
+      bound(rules_.size());
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    for (const FeaturePredicate& pred : rules_[r].predicates) {
+      size_t col = batch.feature_names.size();
+      for (size_t c = 0; c < batch.feature_names.size(); ++c) {
+        if (batch.feature_names[c] == pred.feature) {
+          col = c;
+          break;
+        }
+      }
+      if (col == batch.feature_names.size()) {
+        return Status::NotFound("rule '" + rules_[r].name +
+                                "' references unknown feature '" +
+                                pred.feature + "'");
+      }
+      bound[r].push_back({batch.Column(col), &pred});
+    }
+  }
+
+  // Rule-major over contiguous columns: rule r only claims pairs no earlier
+  // rule fired on, so the result is the row-major first-firing-rule vector.
+  std::vector<int> out(batch.num_pairs(), -1);
+  std::vector<uint8_t> holds(batch.num_pairs());
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    std::fill(holds.begin(), holds.end(), uint8_t{1});
+    for (const auto& [col, pred] : bound[r]) {
+      for (size_t i = 0; i < batch.num_pairs(); ++i) {
+        if (holds[i] && !pred->Holds(col[i])) holds[i] = 0;
+      }
+    }
+    for (size_t i = 0; i < batch.num_pairs(); ++i) {
+      if (holds[i] && out[i] < 0) out[i] = static_cast<int>(r);
     }
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "src/core/result.h"
 #include "src/feature/feature_gen.h"
+#include "src/feature/pair_batch.h"
 
 namespace emx {
 
@@ -60,6 +61,12 @@ class FeatureRuleMatcher {
   // Index of the first rule that fires per row (-1 when none does) — rule
   // provenance for debugging.
   Result<std::vector<int>> FiringRule(const FeatureMatrix& matrix) const;
+
+  // Columnar equivalents: predicates sweep contiguous feature columns of
+  // the batch, rule by rule, and a pair keeps the FIRST rule that fired —
+  // identical vectors to the row-major overloads on the same data.
+  Result<std::vector<int>> Predict(const PairBatch& batch) const;
+  Result<std::vector<int>> FiringRule(const PairBatch& batch) const;
 
  private:
   std::vector<FeatureRule> rules_;

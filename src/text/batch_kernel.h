@@ -1,0 +1,74 @@
+#ifndef EMX_TEXT_BATCH_KERNEL_H_
+#define EMX_TEXT_BATCH_KERNEL_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace emx {
+
+// Batch (columnar) entry points for the character-sequence measures: score
+// `n` contiguous string pairs per call instead of one. Lane i of `out`
+// receives exactly the double the corresponding single-pair measure in
+// sequence_similarity.h / phonetic.h returns for (a[i], b[i]) — BIT-exact,
+// which the 10k-pair suites in tests/pair_batch_test.cc assert against the
+// scalar `emx::oracle` reference at 1/2/8 threads and at every SIMD level.
+//
+// What batching buys over per-pair calls:
+//  - one DpScratch::Tls() lookup and one dispatch per BATCH, not per pair;
+//  - the Jaro/Jaro-Winkler match scan runs through an AVX2 (or SSE2)
+//    window kernel selected at runtime, with the scalar loop retained as
+//    the portable fallback;
+//  - the O(mn) DP measures (NW / SW / affine gap) process lanes in
+//    length-sorted order so the shared scratch arena grows once and the
+//    row buffers stay cache-resident across lanes of similar size.
+//
+// Thread-safety: batch calls borrow the calling thread's DpScratch, so any
+// number of executor threads can run disjoint batches concurrently.
+
+// SIMD tier the Jaro window kernel runs at. Levels are cumulative: a CPU
+// reporting kAvx2 also supports kSse2.
+enum class SimdLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+// The level batch kernels actually execute at: the highest level the CPU
+// supports, clamped by the EMX_SIMD environment variable ("scalar", "sse2",
+// "avx2"; read once) and by ForceSimdLevel.
+SimdLevel ActiveSimdLevel();
+
+// Highest level the CPU supports, ignoring overrides.
+SimdLevel DetectedSimdLevel();
+
+// Test hook: pins ActiveSimdLevel() to min(detected, level) until
+// ResetSimdLevel(). Lets the equivalence suites drive the scalar fallback
+// and the SSE2 path on AVX2 hosts. Not thread-safe against concurrent batch
+// calls — flip it only between batches.
+void ForceSimdLevel(SimdLevel level);
+void ResetSimdLevel();
+
+// out[i] = the corresponding scalar measure of (a[i], b[i]).
+void ExactMatchBatch(const std::string_view* a, const std::string_view* b,
+                     size_t n, double* out);
+void LevenshteinSimilarityBatch(const std::string_view* a,
+                                const std::string_view* b, size_t n,
+                                double* out);
+void JaroSimilarityBatch(const std::string_view* a, const std::string_view* b,
+                         size_t n, double* out);
+void JaroWinklerSimilarityBatch(const std::string_view* a,
+                                const std::string_view* b, size_t n,
+                                double* out, double p = 0.1);
+void NeedlemanWunschSimilarityBatch(const std::string_view* a,
+                                    const std::string_view* b, size_t n,
+                                    double* out);
+void SmithWatermanSimilarityBatch(const std::string_view* a,
+                                  const std::string_view* b, size_t n,
+                                  double* out);
+void AffineGapSimilarityBatch(const std::string_view* a,
+                              const std::string_view* b, size_t n,
+                              double* out);
+
+}  // namespace emx
+
+#endif  // EMX_TEXT_BATCH_KERNEL_H_

@@ -111,16 +111,31 @@ double AffineGapSimilarity(std::string_view a, std::string_view b,
   }
   for (size_t i = 1; i <= m; ++i) {
     const char ai = a[i - 1];
-    mc[0] = yc[0] = kNegInf;
-    xc[0] = gap_open + gap_extend * static_cast<double>(i - 1);
+    // The current row's j-1 cells ride in registers rather than being
+    // re-loaded from mc/xc/yc: the three statements stay coupled through the
+    // scalars, which keeps GCC's -O3 loop-distribution pass from splitting
+    // the loop (distributing it miscompiles this recurrence on GCC 12 —
+    // asserted bit-exact vs the full-table oracle by AffineGapTest).
+    double m_left = kNegInf;
+    double x_left = gap_open + gap_extend * static_cast<double>(i - 1);
+    double y_left = kNegInf;
+    mc[0] = m_left;
+    xc[0] = x_left;
+    yc[0] = y_left;
     for (size_t j = 1; j <= n; ++j) {
       double sub = (ai == b[j - 1]) ? match : mismatch;
       double diag = std::max({mp[j - 1], xp[j - 1], yp[j - 1]});
-      mc[j] = diag + sub;
-      xc[j] = std::max({mp[j] + gap_open, xp[j] + gap_extend,
-                        yp[j] + gap_open});
-      yc[j] = std::max({mc[j - 1] + gap_open, yc[j - 1] + gap_extend,
-                        xc[j - 1] + gap_open});
+      double mj = diag + sub;
+      double xj = std::max({mp[j] + gap_open, xp[j] + gap_extend,
+                            yp[j] + gap_open});
+      double yj = std::max({m_left + gap_open, y_left + gap_extend,
+                            x_left + gap_open});
+      mc[j] = mj;
+      xc[j] = xj;
+      yc[j] = yj;
+      m_left = mj;
+      x_left = xj;
+      y_left = yj;
     }
     std::swap(mp, mc);
     std::swap(xp, xc);

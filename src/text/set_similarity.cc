@@ -1,6 +1,7 @@
 #include "src/text/set_similarity.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -177,10 +178,15 @@ namespace {
 
 // Thread-local token-pair Jaro-Winkler memo for MongeElkanSimilarityMemo.
 // Keyed by the ids' interner uid: a lookup against a different interner
-// resets the table (ids are only comparable within one interner). Bounded —
-// a pathological vocabulary flushes the table instead of growing forever.
+// resets the table (ids are only comparable within one interner). Bounded
+// by kMongeElkanMemoMaxEntries — a pathological vocabulary flushes the
+// table instead of growing forever — and generation-stamped so
+// ClearMongeElkanMemo() can flush every thread's table lazily.
+std::atomic<uint64_t> g_memo_generation{0};
+
 struct JwMemo {
   uint64_t interner_uid = 0;
+  uint64_t generation = 0;
   std::unordered_map<uint64_t, double> scores;  // (aid << 32 | bid) -> jw
 };
 
@@ -218,9 +224,12 @@ double MongeElkanSimilarityMemo(const std::string* a, const uint32_t* aid,
                                 const uint32_t* bid, size_t nb,
                                 uint64_t interner_uid) {
   thread_local JwMemo memo;
-  if (memo.interner_uid != interner_uid ||
-      memo.scores.size() > (1u << 22)) {
+  const uint64_t generation =
+      g_memo_generation.load(std::memory_order_relaxed);
+  if (memo.interner_uid != interner_uid || memo.generation != generation ||
+      memo.scores.size() > kMongeElkanMemoMaxEntries) {
     memo.interner_uid = interner_uid;
+    memo.generation = generation;
     memo.scores.clear();
   }
   // Directional keys on purpose: the reverse direction scores jw(b_j, a_i),
@@ -228,6 +237,10 @@ double MongeElkanSimilarityMemo(const std::string* a, const uint32_t* aid,
   // Jaro-Winkler implementation is baked into the memo.
   return 0.5 * (MongeElkanAsymmetricMemo(memo, a, aid, na, b, bid, nb) +
                 MongeElkanAsymmetricMemo(memo, b, bid, nb, a, aid, na));
+}
+
+void ClearMongeElkanMemo() {
+  g_memo_generation.fetch_add(1, std::memory_order_relaxed);
 }
 
 double MongeElkanAsymmetric(const std::vector<std::string>& a,

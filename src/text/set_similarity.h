@@ -85,6 +85,20 @@ double MongeElkanSimilarityMemo(const std::string* a, const uint32_t* aid,
                                 const uint32_t* bid, size_t nb,
                                 uint64_t interner_uid);
 
+// Hard cap on entries in each thread's Jaro-Winkler memo. When a lookup
+// finds the table above the cap it is flushed before inserting — a
+// pathological vocabulary (e.g. every row a unique long token) costs
+// re-scoring, never unbounded memory.
+inline constexpr size_t kMongeElkanMemoMaxEntries = size_t{1} << 20;
+
+// Flushes every thread's Jaro-Winkler memo (lazily: each thread drops its
+// table on its next MongeElkanSimilarityMemo call). PrepCache::Clear() calls
+// this so memo entries never outlive the prepared columns whose interner
+// assigned their ids. Safe to call concurrently with scoring — in-flight
+// calls finish against whichever generation they started with, and scores
+// are identical either way.
+void ClearMongeElkanMemo();
+
 // TF-IDF weighted cosine over a fixed corpus vocabulary. Build once from all
 // strings of both tables, then score token vectors. Unknown tokens get
 // idf = log(N + 1) (treated as if they occur in no document).

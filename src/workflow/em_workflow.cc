@@ -57,11 +57,15 @@ Result<CandidateSet> EmWorkflow::RunMatching(
     const CandidateSet& ml_input) const {
   EMX_FAILPOINT("workflow/match");
   if (matcher_ == nullptr || ml_input.empty()) return CandidateSet();
-  EMX_ASSIGN_OR_RETURN(FeatureMatrix m,
-                       VectorizePairs(left, right, ml_input, features_,
-                                      exec_ctx_, prep_cache_.get()));
-  EMX_RETURN_IF_ERROR(imputer_.Transform(m));
-  std::vector<int> pred = matcher_->Predict(m.rows);
+  // Columnar end to end: vectorize into a PairBatch (batch similarity
+  // kernels fill feature columns), impute per column, score through the
+  // matcher's batch path (flattened forest for random forests). Same
+  // doubles as the row-major pipeline, bit for bit.
+  EMX_ASSIGN_OR_RETURN(PairBatch batch,
+                       VectorizePairsBatch(left, right, ml_input, features_,
+                                           exec_ctx_, prep_cache_.get()));
+  EMX_RETURN_IF_ERROR(imputer_.Transform(batch));
+  std::vector<int> pred = matcher_->PredictBatch(batch);
   std::vector<RecordPair> positives;
   for (size_t i = 0; i < pred.size(); ++i) {
     if (pred[i] == 1) positives.push_back(ml_input[i]);

@@ -1,0 +1,556 @@
+// Equivalence suite for the columnar batch-scoring layer: every batch
+// similarity kernel in src/text/batch_kernel.h must be BIT-IDENTICAL to the
+// emx::oracle scalars on a randomized 10k-pair corpus (empty, 1-char,
+// >64-char, UTF-8, equal, disjoint lanes) at 1/2/8 threads and at every
+// SIMD dispatch level — including a forced-scalar run, so the scalar
+// fallback is exercised even on AVX2 hardware. The same suite pins down the
+// PairBatch container, the batched vectorizer/imputer, the flattened-forest
+// scorer (incl. NaN routing and deserialize), the rule-matcher batch
+// overloads, and the Monge-Elkan memo flush hook.
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/random.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/pair_batch.h"
+#include "src/feature/vectorizer.h"
+#include "src/ml/forest_flat.h"
+#include "src/ml/random_forest.h"
+#include "src/prep/prepared_column.h"
+#include "src/rules/feature_rules.h"
+#include "src/table/csv.h"
+#include "src/text/batch_kernel.h"
+#include "src/text/phonetic.h"
+#include "src/text/sequence_similarity.h"
+#include "src/text/set_similarity.h"
+
+namespace emx {
+namespace {
+
+// ---------- corpus ----------
+
+struct StringPair {
+  std::string a;
+  std::string b;
+};
+
+std::string RandomString(std::mt19937& rng, size_t len, char lo, char hi) {
+  std::uniform_int_distribution<int> c(lo, hi);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) s += static_cast<char>(c(rng));
+  return s;
+}
+
+std::string RandomUtf8(std::mt19937& rng, size_t chars) {
+  static const char* kGlyphs[] = {"ü", "ß", "é", "λ", "文", "字", "🌽",
+                                  "a", "n", " ", "Å", "ç"};
+  std::uniform_int_distribution<size_t> pick(0, std::size(kGlyphs) - 1);
+  std::string s;
+  for (size_t i = 0; i < chars; ++i) s += kGlyphs[pick(rng)];
+  return s;
+}
+
+std::string Mutate(std::mt19937& rng, std::string s) {
+  if (s.empty()) return s;
+  std::uniform_int_distribution<size_t> pos(0, s.size() - 1);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::uniform_int_distribution<int> c('a', 'z');
+  std::uniform_int_distribution<int> edits(1, 4);
+  int n = edits(rng);
+  for (int e = 0; e < n && !s.empty(); ++e) {
+    size_t p = pos(rng) % s.size();
+    switch (kind(rng)) {
+      case 0:
+        s[p] = static_cast<char>(c(rng));
+        break;
+      case 1:
+        s.erase(p, 1);
+        break;
+      default:
+        s.insert(p, 1, static_cast<char>(c(rng)));
+        break;
+    }
+  }
+  return s;
+}
+
+// The shape classes the batch kernels must cover: empty, 1-char, equal,
+// near-duplicate, disjoint-alphabet (zero matches), multi-byte UTF-8, and
+// >64-char lanes, mixed in one corpus so a single batch call sees the full
+// length spectrum (which is what stresses the length-sorted scheduling and
+// the 4-lane padding).
+std::vector<StringPair> BuildCorpus(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> klass(0, 99);
+  std::uniform_int_distribution<size_t> small(2, 64);
+  std::uniform_int_distribution<size_t> medium(65, 128);
+  std::vector<StringPair> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int k = klass(rng);
+    StringPair p;
+    if (k < 6) {  // empty on at least one side
+      p.a = "";
+      p.b = k < 3 ? "" : RandomString(rng, small(rng), 'a', 'z');
+    } else if (k < 14) {  // 1-char
+      p.a = RandomString(rng, 1, 'a', 'f');
+      p.b = RandomString(rng, 1, 'a', 'f');
+    } else if (k < 24) {  // equal
+      p.a = RandomString(rng, small(rng), 'a', 'z');
+      p.b = p.a;
+    } else if (k < 36) {  // near-duplicates
+      p.a = RandomString(rng, small(rng), 'a', 'j');
+      p.b = Mutate(rng, p.a);
+    } else if (k < 46) {  // disjoint alphabets: zero matches
+      p.a = RandomString(rng, small(rng), 'a', 'm');
+      p.b = RandomString(rng, small(rng), 'n', 'z');
+    } else if (k < 56) {  // UTF-8 multi-byte sequences, compared bytewise
+      p.a = RandomUtf8(rng, small(rng) / 2 + 1);
+      p.b = k % 2 == 0 ? Mutate(rng, p.a) : RandomUtf8(rng, small(rng) / 2 + 1);
+    } else if (k < 66) {  // >64-char lanes
+      p.a = RandomString(rng, medium(rng), 'a', 'h');
+      p.b = k % 2 == 0 ? Mutate(rng, p.a)
+                       : RandomString(rng, medium(rng), 'a', 'h');
+    } else {  // generic short strings
+      p.a = RandomString(rng, small(rng), 'a', 'z');
+      p.b = RandomString(rng, small(rng), 'a', 'z');
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// NaN-aware bitwise double equality.
+bool BitEq(double x, double y) {
+  return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+// ---------- PairBatch container ----------
+
+TEST(PairBatchTest, ColumnMajorLayoutAndAccessors) {
+  PairBatch batch(3, 2);
+  batch.feature_names = {"f0", "f1"};
+  for (size_t i = 0; i < 3; ++i) {
+    batch.At(i, 0) = static_cast<double>(i);
+    batch.At(i, 1) = 10.0 + static_cast<double>(i);
+  }
+  EXPECT_EQ(batch.num_pairs(), 3u);
+  EXPECT_EQ(batch.num_features(), 2u);
+  // Column(f) is contiguous over pairs: the batch-kernel contract.
+  const double* c1 = batch.Column(1);
+  EXPECT_DOUBLE_EQ(c1[0], 10.0);
+  EXPECT_DOUBLE_EQ(c1[2], 12.0);
+  EXPECT_EQ(batch.Column(1), batch.Column(0) + batch.num_pairs());
+  double row[2];
+  batch.RowTo(1, row);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 11.0);
+}
+
+TEST(PairBatchTest, RoundTripsPreserveValuesAndNames) {
+  FeatureMatrix m;
+  m.feature_names = {"a", "b", "c"};
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  m.rows = {{1.0, nan, 3.0}, {4.0, 5.0, nan}};
+  PairBatch batch = PairBatch::FromMatrix(m);
+  EXPECT_EQ(batch.feature_names, m.feature_names);
+  FeatureMatrix back = batch.ToMatrix();
+  ASSERT_EQ(back.rows.size(), m.rows.size());
+  for (size_t i = 0; i < m.rows.size(); ++i) {
+    for (size_t f = 0; f < m.feature_names.size(); ++f) {
+      EXPECT_TRUE(BitEq(back.rows[i][f], m.rows[i][f])) << i << "," << f;
+      EXPECT_TRUE(BitEq(batch.At(i, f), m.rows[i][f])) << i << "," << f;
+    }
+  }
+  std::vector<std::vector<double>> rows = batch.ToRows();
+  std::vector<std::vector<double>> again = PairBatch::FromRows(rows).ToRows();
+  ASSERT_EQ(rows.size(), again.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t f = 0; f < rows[i].size(); ++f) {
+      EXPECT_TRUE(BitEq(rows[i][f], again[i][f])) << i << "," << f;
+    }
+  }
+}
+
+TEST(PairBatchTest, EmptyMatrixKeepsFeatureWidth) {
+  FeatureMatrix m;
+  m.feature_names = {"a", "b"};
+  PairBatch batch = PairBatch::FromMatrix(m);
+  EXPECT_EQ(batch.num_pairs(), 0u);
+  EXPECT_EQ(batch.num_features(), 2u);
+}
+
+// ---------- batch kernels vs oracle, across SIMD levels and threads ----------
+
+using BatchFn = void (*)(const std::string_view*, const std::string_view*,
+                         size_t, double*);
+
+struct KernelCase {
+  const char* name;
+  BatchFn batch;
+  double (*scalar)(std::string_view, std::string_view);
+};
+
+double OracleExact(std::string_view a, std::string_view b) {
+  return ExactMatch(a, b);  // trivially scalar; no oracle twin exists
+}
+double OracleJw(std::string_view a, std::string_view b) {
+  return oracle::JaroWinklerSimilarity(a, b);
+}
+double OracleAffine(std::string_view a, std::string_view b) {
+  return oracle::AffineGapSimilarity(a, b);
+}
+void JwBatch(const std::string_view* a, const std::string_view* b, size_t n,
+             double* out) {
+  JaroWinklerSimilarityBatch(a, b, n, out);
+}
+
+const KernelCase kKernels[] = {
+    {"exact", &ExactMatchBatch, &OracleExact},
+    {"lev", &LevenshteinSimilarityBatch, &oracle::LevenshteinSimilarity},
+    {"jaro", &JaroSimilarityBatch, &oracle::JaroSimilarity},
+    {"jw", &JwBatch, &OracleJw},
+    {"nw", &NeedlemanWunschSimilarityBatch, &oracle::NeedlemanWunschSimilarity},
+    {"sw", &SmithWatermanSimilarityBatch, &oracle::SmithWatermanSimilarity},
+    {"affine", &AffineGapSimilarityBatch, &OracleAffine},
+};
+
+class SimdLevelGuard {
+ public:
+  explicit SimdLevelGuard(SimdLevel level) { ForceSimdLevel(level); }
+  ~SimdLevelGuard() { ResetSimdLevel(); }
+};
+
+TEST(BatchKernelTest, BitExactVsOracleAtAllSimdLevelsAnd128Threads) {
+  const std::vector<StringPair> corpus = BuildCorpus(10000, 20260809);
+  std::vector<std::string_view> av, bv;
+  av.reserve(corpus.size());
+  bv.reserve(corpus.size());
+  for (const StringPair& p : corpus) {
+    av.push_back(p.a);
+    bv.push_back(p.b);
+  }
+
+  // Oracle expectations, once, single-threaded.
+  std::vector<std::vector<double>> expected(std::size(kKernels));
+  for (size_t k = 0; k < std::size(kKernels); ++k) {
+    expected[k].resize(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      expected[k][i] = kKernels[k].scalar(av[i], bv[i]);
+    }
+  }
+
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    SimdLevelGuard guard(level);  // clamped to the hardware level internally
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (size_t k = 0; k < std::size(kKernels); ++k) {
+        std::vector<double> out(corpus.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+        std::atomic<size_t> mismatches{0};
+        std::atomic<long> first_bad{-1};
+        std::vector<std::thread> workers;
+        for (size_t t = 0; t < threads; ++t) {
+          workers.emplace_back([&, t] {
+            // Contiguous slice per thread: each thread issues its own batch
+            // call over its own thread_local scratch.
+            size_t lo = corpus.size() * t / threads;
+            size_t hi = corpus.size() * (t + 1) / threads;
+            if (lo == hi) return;
+            kKernels[k].batch(av.data() + lo, bv.data() + lo, hi - lo,
+                              out.data() + lo);
+            for (size_t i = lo; i < hi; ++i) {
+              if (!BitEq(out[i], expected[k][i])) {
+                ++mismatches;
+                long want = -1;
+                first_bad.compare_exchange_strong(want,
+                                                  static_cast<long>(i));
+              }
+            }
+          });
+        }
+        for (auto& w : workers) w.join();
+        EXPECT_EQ(mismatches.load(), 0u)
+            << kKernels[k].name << " diverges from oracle at simd level "
+            << static_cast<int>(level) << ", " << threads
+            << " threads; first bad pair " << first_bad.load() << " a=\""
+            << (first_bad >= 0 ? corpus[first_bad].a.substr(0, 40) : "")
+            << "\" b=\""
+            << (first_bad >= 0 ? corpus[first_bad].b.substr(0, 40) : "")
+            << "\"";
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, ForcedScalarNeverExceedsDetectedLevel) {
+  {
+    SimdLevelGuard guard(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+  {
+    SimdLevelGuard guard(SimdLevel::kAvx2);
+    EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+              static_cast<int>(DetectedSimdLevel()));
+  }
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+            static_cast<int>(DetectedSimdLevel()));
+}
+
+// ---------- flattened forest ----------
+
+std::vector<std::vector<double>> ForestProbe(size_t n, uint64_t seed) {
+  std::mt19937 rng(static_cast<uint32_t>(seed));
+  std::uniform_real_distribution<double> v(-4.0, 4.0);
+  std::uniform_int_distribution<int> poison(0, 9);
+  std::vector<std::vector<double>> rows;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row = {v(rng), v(rng), v(rng)};
+    // NaN lanes: the flat walk must route NaN to the right child exactly
+    // like the pointer walk's `(v <= thr) ? left : right`.
+    if (poison(rng) == 0) row[static_cast<size_t>(poison(rng)) % 3] = nan;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Dataset ForestTrainSet(size_t n_pos, size_t n_neg, uint64_t seed) {
+  RandomEngine rng(seed);
+  Dataset d;
+  d.feature_names = {"x", "y", "z"};
+  for (size_t i = 0; i < n_pos + n_neg; ++i) {
+    bool pos = i < n_pos;
+    double center = pos ? 2.0 : -2.0;
+    d.x.push_back({center + 0.5 * rng.NextGaussian(),
+                   center + 0.5 * rng.NextGaussian(),
+                   0.1 * rng.NextGaussian()});
+    d.y.push_back(pos ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(FlatForestTest, BitExactVsTreeWalkIncludingNaNRouting) {
+  RandomForestOptions opts;
+  opts.num_trees = 16;
+  opts.seed = 99;
+  RandomForestMatcher forest(opts);
+  ASSERT_TRUE(forest.Fit(ForestTrainSet(80, 80, 7)).ok());
+  EXPECT_FALSE(forest.flat_forest().empty());
+  EXPECT_EQ(forest.flat_forest().num_trees(), 16u);
+
+  const std::vector<std::vector<double>> probe = ForestProbe(500, 31);
+  const std::vector<double> walk = forest.PredictProbaTreeWalk(probe);
+  const std::vector<double> flat = forest.PredictProba(probe);
+  ASSERT_EQ(walk.size(), flat.size());
+  for (size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_TRUE(BitEq(walk[i], flat[i]))
+        << "row " << i << ": walk=" << walk[i] << " flat=" << flat[i];
+  }
+
+  // The columnar entry point reads strided columns — same doubles.
+  const std::vector<double> batch =
+      forest.PredictProbaBatch(PairBatch::FromRows(probe));
+  for (size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_TRUE(BitEq(walk[i], batch[i])) << "row " << i;
+  }
+}
+
+TEST(FlatForestTest, RebuiltAfterDeserialize) {
+  RandomForestOptions opts;
+  opts.num_trees = 8;
+  opts.seed = 5;
+  RandomForestMatcher forest(opts);
+  ASSERT_TRUE(forest.Fit(ForestTrainSet(40, 40, 3)).ok());
+  auto restored = RandomForestMatcher::Deserialize(forest.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->flat_forest().empty());
+  const std::vector<std::vector<double>> probe = ForestProbe(200, 77);
+  const std::vector<double> before = forest.PredictProba(probe);
+  const std::vector<double> after = restored->PredictProba(probe);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(BitEq(before[i], after[i])) << "row " << i;
+  }
+}
+
+// ---------- batched vectorizer + imputer ----------
+
+Table BatchLeft() {
+  return *ReadCsvString(
+      "RecordId,Title,Code,Amount\n"
+      "0,Applied CORN Ecology,WIS01,100\n"
+      "1,swamp dodder study,WIS02,250\n"
+      "2,,WIS03,\n"
+      "3,maize genetics of inbred lines,WIS04,75\n");
+}
+
+Table BatchRight() {
+  return *ReadCsvString(
+      "RecordId,Title,Code,Amount\n"
+      "0,applied corn ecology,WIS01,100\n"
+      "1,swamp doder study,WIS09,\n"
+      "2,unrelated title entirely,WIS03,80\n"
+      "3,,WIS04,75\n");
+}
+
+TEST(VectorizerBatchTest, BatchEqualsLegacyPathBitForBit) {
+  Table l = BatchLeft(), r = BatchRight();
+  auto set = GenerateFeatures(
+      l, r, {.exclude = {"RecordId"}, .lowercase_variants = {"Title"}});
+  ASSERT_TRUE(set.ok());
+  std::vector<RecordPair> all;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) all.push_back({i, j});
+  }
+  CandidateSet pairs(std::move(all));
+
+  PrepCache cache;
+  auto batch = VectorizePairsBatch(l, r, pairs, *set, {}, &cache);
+  ASSERT_TRUE(batch.ok());
+  auto legacy = VectorizePairsUnprepared(l, r, pairs, *set);
+  ASSERT_TRUE(legacy.ok());
+
+  ASSERT_EQ(batch->num_pairs(), legacy->num_rows());
+  ASSERT_EQ(batch->num_features(), legacy->num_features());
+  EXPECT_EQ(batch->feature_names, legacy->feature_names);
+  for (size_t i = 0; i < batch->num_pairs(); ++i) {
+    for (size_t f = 0; f < batch->num_features(); ++f) {
+      EXPECT_TRUE(BitEq(batch->At(i, f), legacy->rows[i][f]))
+          << "pair " << i << " feature " << legacy->feature_names[f];
+    }
+  }
+
+  // And the row-major wrapper is exactly the transpose.
+  auto matrix = VectorizePairs(l, r, pairs, *set, {}, &cache);
+  ASSERT_TRUE(matrix.ok());
+  FeatureMatrix transposed = batch->ToMatrix();
+  for (size_t i = 0; i < matrix->num_rows(); ++i) {
+    for (size_t f = 0; f < matrix->num_features(); ++f) {
+      EXPECT_TRUE(BitEq(matrix->rows[i][f], transposed.rows[i][f]))
+          << "pair " << i << " feature " << f;
+    }
+  }
+}
+
+TEST(ImputerBatchTest, FitAndTransformMatchMatrixOverloads) {
+  FeatureMatrix m;
+  m.feature_names = {"f0", "f1", "f2"};
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  m.rows = {{1.0, nan, nan}, {3.0, 4.0, nan}, {nan, 8.0, nan}, {0.5, 0.25, nan}};
+
+  MeanImputer from_matrix, from_batch;
+  from_matrix.Fit(m);
+  from_batch.Fit(PairBatch::FromMatrix(m));
+  ASSERT_EQ(from_matrix.means().size(), from_batch.means().size());
+  for (size_t f = 0; f < from_matrix.means().size(); ++f) {
+    EXPECT_TRUE(BitEq(from_matrix.means()[f], from_batch.means()[f])) << f;
+  }
+
+  FeatureMatrix mm = m;
+  PairBatch batch = PairBatch::FromMatrix(m);
+  ASSERT_TRUE(from_matrix.Transform(mm).ok());
+  ASSERT_TRUE(from_matrix.Transform(batch).ok());
+  for (size_t i = 0; i < mm.rows.size(); ++i) {
+    for (size_t f = 0; f < mm.feature_names.size(); ++f) {
+      EXPECT_TRUE(BitEq(mm.rows[i][f], batch.At(i, f))) << i << "," << f;
+    }
+  }
+
+  PairBatch wrong(2, 2);
+  EXPECT_EQ(from_matrix.Transform(wrong).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- rule-matcher batch overloads ----------
+
+TEST(FeatureRulesBatchTest, PredictAndFiringRuleMatchMatrixOverloads) {
+  FeatureRuleMatcher rules;
+  ASSERT_TRUE(rules.AddRule("strong", "sim > 0.9 AND diff <= 1").ok());
+  ASSERT_TRUE(rules.AddRule("loose", "sim >= 0.4").ok());
+
+  FeatureMatrix m;
+  m.feature_names = {"diff", "sim"};
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> sim(0.0, 1.0);
+  std::uniform_int_distribution<int> diff(0, 3);
+  for (int i = 0; i < 500; ++i) {
+    double s = i % 11 == 0 ? nan : sim(rng);
+    m.rows.push_back({static_cast<double>(diff(rng)), s});
+  }
+
+  auto firing_m = rules.FiringRule(m);
+  auto firing_b = rules.FiringRule(PairBatch::FromMatrix(m));
+  ASSERT_TRUE(firing_m.ok());
+  ASSERT_TRUE(firing_b.ok());
+  EXPECT_EQ(*firing_m, *firing_b);
+
+  auto pred_m = rules.Predict(m);
+  auto pred_b = rules.Predict(PairBatch::FromMatrix(m));
+  ASSERT_TRUE(pred_m.ok());
+  ASSERT_TRUE(pred_b.ok());
+  EXPECT_EQ(*pred_m, *pred_b);
+}
+
+TEST(FeatureRulesBatchTest, UnknownFeatureIsNotFound) {
+  FeatureRuleMatcher rules;
+  ASSERT_TRUE(rules.AddRule("r", "ghost > 0.5").ok());
+  PairBatch batch(1, 1);
+  batch.feature_names = {"real"};
+  EXPECT_EQ(rules.Predict(batch).status().code(), StatusCode::kNotFound);
+}
+
+// ---------- Monge-Elkan memo flush ----------
+
+TEST(MongeElkanMemoTest, ClearFlushesStaleEntries) {
+  static_assert(kMongeElkanMemoMaxEntries > 0);
+  const uint64_t uid = 0xE1DB7u;
+  const std::string a1[] = {"martha"};
+  const std::string b1[] = {"marhta"};
+  const uint32_t aid[] = {0};
+  const uint32_t bid[] = {1};
+  const double v1 = MongeElkanSimilarityMemo(a1, aid, 1, b1, bid, 1, uid);
+  EXPECT_EQ(v1, MongeElkanSimilarity(a1, 1, b1, 1));
+
+  // Same ids + same uid but different strings: the memo (by design) serves
+  // the stale score — ids are the key, strings only feed misses.
+  const std::string a2[] = {"zzzz"};
+  const std::string b2[] = {"qqqq"};
+  EXPECT_EQ(MongeElkanSimilarityMemo(a2, aid, 1, b2, bid, 1, uid), v1);
+
+  // After the flush the very same call recomputes from the strings.
+  ClearMongeElkanMemo();
+  const double fresh = MongeElkanSimilarityMemo(a2, aid, 1, b2, bid, 1, uid);
+  EXPECT_EQ(fresh, MongeElkanSimilarity(a2, 1, b2, 1));
+  EXPECT_NE(fresh, v1);
+}
+
+TEST(MongeElkanMemoTest, PrepCacheClearFlushesTheMemo) {
+  const uint64_t uid = 0xCAC4Eu;
+  const std::string a1[] = {"hello"};
+  const std::string b1[] = {"hallo"};
+  const uint32_t aid[] = {3};
+  const uint32_t bid[] = {4};
+  const double v1 = MongeElkanSimilarityMemo(a1, aid, 1, b1, bid, 1, uid);
+
+  PrepCache cache;
+  cache.Clear();  // must invalidate every thread's memo
+
+  const std::string a2[] = {"aaaa"};
+  const std::string b2[] = {"bbbb"};
+  const double fresh = MongeElkanSimilarityMemo(a2, aid, 1, b2, bid, 1, uid);
+  EXPECT_EQ(fresh, MongeElkanSimilarity(a2, 1, b2, 1));
+  EXPECT_NE(fresh, v1);
+}
+
+}  // namespace
+}  // namespace emx
