@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/block/overlap_blocker.h"
 #include "src/block/rule_blocker.h"
 #include "src/block/similarity_join.h"
@@ -118,7 +120,16 @@ BENCHMARK(BM_JaccardJoin)->Arg(5)->Arg(7)->Arg(9)
 
 // Thread-count sweep over the §7 blockers: the same blocking runs pinned
 // to 1/2/4/8-thread executors. Outputs are identical across the sweep (the
-// executor's determinism guarantee); only wall-clock should move.
+// executor's determinism guarantee); only wall-clock should move. The
+// sweep_reliable counter mirrors BENCH_vectorize/BENCH_scale: 0 on a
+// 1-core host, where every point in the sweep reads the same wall-clock
+// no matter how well the pool scales.
+void AnnotateSweep(benchmark::State& state) {
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  state.counters["host_cpus"] = static_cast<double>(host_cpus);
+  state.counters["sweep_reliable"] = host_cpus > 1 ? 1.0 : 0.0;
+}
+
 void BM_OverlapBlockerThreads(benchmark::State& state) {
   const Fixture& f = GetFixture();
   Executor pool(static_cast<size_t>(state.range(0)));
@@ -128,6 +139,7 @@ void BM_OverlapBlockerThreads(benchmark::State& state) {
     auto c = blocker->Block(f.umetrics, f.usda, ctx);
     benchmark::DoNotOptimize(c->size());
   }
+  AnnotateSweep(state);
 }
 BENCHMARK(BM_OverlapBlockerThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
@@ -144,6 +156,7 @@ void BM_JaccardJoinThreads(benchmark::State& state) {
     auto c = join.Block(f.umetrics, f.usda, ctx);
     benchmark::DoNotOptimize(c->size());
   }
+  AnnotateSweep(state);
 }
 BENCHMARK(BM_JaccardJoinThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);

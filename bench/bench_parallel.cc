@@ -102,7 +102,12 @@ int Run() {
   }
 
   unsigned host_cpus = std::thread::hardware_concurrency();
-  std::printf("host_cpus=%u\n", host_cpus);
+  // Same flag BENCH_vectorize records: on a 1-core host every speedup in
+  // this sweep reads ~1.0 no matter how well the pool scales, so consumers
+  // must not treat the numbers as a scaling measurement.
+  bool sweep_reliable = host_cpus > 1;
+  std::printf("host_cpus=%u%s\n", host_cpus,
+              sweep_reliable ? "" : "  (1 CPU: thread sweep UNRELIABLE)");
   std::printf("%-14s %8s %10s %8s\n", "stage", "threads", "wall_ms",
               "speedup");
   for (const Record& r : records) {
@@ -112,7 +117,10 @@ int Run() {
 
   std::FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (!f) return 1;
-  std::fprintf(f, "{\n  \"host_cpus\": %u,\n  \"results\": [\n", host_cpus);
+  std::fprintf(f,
+               "{\n  \"host_cpus\": %u,\n  \"sweep_reliable\": %s,\n"
+               "  \"results\": [\n",
+               host_cpus, sweep_reliable ? "true" : "false");
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(f,

@@ -31,3 +31,4 @@ emx_add_experiment(exp_ablation_features)
 emx_add_experiment(exp_label_budget)
 emx_add_experiment(bench_parallel)
 emx_add_experiment(bench_vectorize)
+emx_add_experiment(bench_scale)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/block/partitioned_blocker.h"
 #include "src/core/strings.h"
 
 namespace emx {
@@ -116,13 +117,18 @@ CandidateSet OverlapJoinStrings(
   return CandidateSet(std::move(pairs));
 }
 
-// Id-based core: the index is built once (read-only during probing), then
-// left records probe it in parallel chunks. Per chunk, a dense uint32
-// count array (one slot per right record) replaces the per-probe hash map;
-// the touched-list makes the reset proportional to candidates, not to the
+// Id-based MONOLITHIC core: one index over the whole right table, probed
+// by left records in parallel chunks. Per chunk, a dense uint32 count
+// array (one slot per right record) replaces the per-probe hash map; the
+// touched-list makes the reset proportional to candidates, not to the
 // right table. Per-chunk pair vectors concatenate in chunk order before the
 // (order-insensitive) CandidateSet canonicalization, so the result is
 // identical at any thread count.
+//
+// Production blocking now routes through PartitionedOverlapJoin
+// (partitioned_blocker.h), which bounds the working set to a memory
+// budget; this single-partition form is RETAINED as the equivalence oracle
+// for the partitioned engine's tests and before/after benches.
 CandidateSet OverlapJoinIds(const PreparedColumn& left,
                             const PreparedColumn& right,
                             const OverlapKeepFn& keep,
@@ -212,9 +218,12 @@ Result<CandidateSet> OverlapBlocker::Block(const Table& left,
   PreparedPair p =
       PrepareJoinColumns(*lcol, *rcol, options_, *tokenizer_, prep_cache_);
   size_t k = min_overlap_;
-  return internal_block::OverlapJoinIds(
+  internal_block::BlockBudget budget;
+  budget.mem_budget_bytes = options_.mem_budget_bytes;
+  return internal_block::PartitionedOverlapJoin(
       *p.left, *p.right,
-      [k](size_t, size_t, size_t overlap) { return overlap >= k; }, ctx);
+      [k](size_t, size_t, size_t overlap) { return overlap >= k; },
+      /*min_left_tokens=*/k, budget, ctx);
 }
 
 std::string OverlapBlocker::name() const {
@@ -239,14 +248,16 @@ Result<CandidateSet> OverlapCoefficientBlocker::Block(
   PreparedPair p =
       PrepareJoinColumns(*lcol, *rcol, options_, *tokenizer_, prep_cache_);
   double t = threshold_;
-  return internal_block::OverlapJoinIds(
+  internal_block::BlockBudget budget;
+  budget.mem_budget_bytes = options_.mem_budget_bytes;
+  return internal_block::PartitionedOverlapJoin(
       *p.left, *p.right,
       [t](size_t la, size_t lb, size_t overlap) {
         size_t mn = std::min(la, lb);
         if (mn == 0) return false;
         return static_cast<double>(overlap) >= t * static_cast<double>(mn);
       },
-      ctx);
+      /*min_left_tokens=*/1, budget, ctx);
 }
 
 std::string OverlapCoefficientBlocker::name() const {

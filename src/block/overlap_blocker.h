@@ -20,17 +20,26 @@ struct OverlapBlockerOptions {
   std::string right_attr;
   bool lowercase = true;
   bool strip_punctuation = true;
+
+  // Peak working-set budget for the blocking index + probe scratch, in
+  // bytes (the CLI's --block-mem-budget). 0 = unbounded: a single partition
+  // covering the whole right table. Any positive value routes the join
+  // through the partitioned engine (see partitioned_blocker.h); the
+  // candidate set is bit-identical at every budget.
+  size_t mem_budget_bytes = 0;
 };
 
 // Overlap blocker: a pair survives iff its token sets share at least
 // `min_overlap` tokens (§7 step 2, threshold K; K=3 in the paper).
 //
 // Implementation: both columns are prepped once into sorted token-id spans
-// (via the shared PrepCache when one is installed), then an inverted index
-// over the right table's token ids — a flat CSR layout, postings per id —
-// is probed per left record into a dense per-right-record count array with
-// a touched-list for sparse reset; never the full Cartesian product, and
-// no per-probe hashing or allocation.
+// (via the shared PrepCache when one is installed), then the partitioned
+// blocking engine streams right-table partitions — each carrying a flat
+// CSR inverted index probed per left record into a dense per-record count
+// array with a touched-list for sparse reset — within the options' memory
+// budget; never the full Cartesian product, and no per-probe hashing or
+// allocation. Left records with fewer than `min_overlap` tokens are pruned
+// before probing (they cannot reach the threshold).
 class OverlapBlocker : public Blocker {
  public:
   OverlapBlocker(OverlapBlockerOptions options, size_t min_overlap,

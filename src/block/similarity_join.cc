@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/block/partitioned_blocker.h"
+#include "src/core/logging.h"
 #include "src/core/strings.h"
 #include "src/text/set_similarity.h"
 
@@ -79,54 +81,86 @@ Result<CandidateSet> JaccardJoinBlocker::BlockWithStats(
     return s - need + 1;
   };
 
-  // Index the right side's prefixes (dense by id; postings in r order).
-  std::vector<std::vector<uint32_t>> index(token_strings.size());
-  for (size_t r = 0; r < rt.size(); ++r) {
-    size_t p = prefix_len(rt[r].size());
-    for (size_t i = 0; i < p; ++i) {
-      index[rt[r][i]].push_back(static_cast<uint32_t>(r));
-    }
-  }
-
-  // Probe with left prefixes in parallel chunks; verify candidates exactly
-  // with the allocation-free merge kernel over the id-sorted spans. The
-  // per-left-record `seen` hash set becomes a dense stamp array with a
-  // touched-list reset. Each chunk counts its own verifications; the
-  // per-chunk counts sum into `stats` after the merge, so the total is
-  // thread-count independent.
+  // Partition the right side so one partition's prefix index plus the
+  // per-chunk seen/touched scratch stays inside the options' memory budget
+  // (0 = one partition, the monolithic layout). Membership of a pair
+  // depends only on its two records, so the candidate set AND the verified
+  // count are bit-identical at every budget and thread count.
   size_t num_right = rp->rows();
+  size_t prefix_postings = 0;
+  for (size_t r = 0; r < rt.size(); ++r) prefix_postings += prefix_len(rt[r].size());
+  internal_block::BlockBudget budget;
+  budget.mem_budget_bytes = options_.mem_budget_bytes;
+  internal_block::PartitionPlan plan = internal_block::PlanPartitions(
+      num_right, prefix_postings, token_strings.size(), budget);
+
   std::atomic<size_t> verified{0};
-  std::vector<RecordPair> out = ctx.get().ParallelFlatMap(
-      lt.size(), /*grain=*/0,
-      [&](size_t lo, size_t hi) {
-        std::vector<RecordPair> chunk;
-        std::vector<uint8_t> seen(num_right, 0);
-        std::vector<uint32_t> touched;
-        size_t chunk_verified = 0;
-        for (size_t l = lo; l < hi; ++l) {
-          size_t p = prefix_len(lt[l].size());
-          for (size_t i = 0; i < p; ++i) {
-            for (uint32_t r : index[lt[l][i]]) {
-              if (seen[r]) continue;
-              seen[r] = 1;
-              touched.push_back(r);
-              // Size filter: |x|·t <= |y| <= |x|/t is necessary for
-              // jaccard >= t.
-              double ls = static_cast<double>(lt[l].size());
-              double rs = static_cast<double>(rt[r].size());
-              if (rs < ls * threshold_ || rs > ls / threshold_) continue;
-              ++chunk_verified;
-              if (JaccardSimilarity(lp->ids(l), rp->ids(r)) >= threshold_) {
-                chunk.push_back({static_cast<uint32_t>(l), r});
+  const bool loud = lt.size() >= 100000 || num_right >= 100000;
+  std::vector<RecordPair> out;
+  for (size_t part = 0; part < plan.num_partitions; ++part) {
+    size_t part_lo = part * plan.rows_per_partition;
+    size_t part_hi = std::min(num_right, part_lo + plan.rows_per_partition);
+    size_t part_rows = part_hi - part_lo;
+    // Prefix index over this partition (dense by id; LOCAL postings in r
+    // order).
+    std::vector<std::vector<uint32_t>> index(token_strings.size());
+    for (size_t r = part_lo; r < part_hi; ++r) {
+      size_t p = prefix_len(rt[r].size());
+      for (size_t i = 0; i < p; ++i) {
+        index[rt[r][i]].push_back(static_cast<uint32_t>(r - part_lo));
+      }
+    }
+
+    // Probe with left prefixes in parallel chunks; verify candidates
+    // exactly with the allocation-free merge kernel over the id-sorted
+    // spans. The per-left-record `seen` hash set becomes a dense stamp
+    // array (partition-sized) with a touched-list reset. Each chunk counts
+    // its own verifications; the per-chunk counts sum into `stats` after
+    // the merge, so the total is thread-count independent.
+    std::vector<RecordPair> pairs = ctx.get().ParallelFlatMap(
+        lt.size(), /*grain=*/0,
+        [&](size_t lo, size_t hi) {
+          std::vector<RecordPair> chunk;
+          std::vector<uint8_t> seen(part_rows, 0);
+          std::vector<uint32_t> touched;
+          size_t chunk_verified = 0;
+          for (size_t l = lo; l < hi; ++l) {
+            size_t p = prefix_len(lt[l].size());
+            for (size_t i = 0; i < p; ++i) {
+              for (uint32_t local : index[lt[l][i]]) {
+                if (seen[local]) continue;
+                seen[local] = 1;
+                touched.push_back(local);
+                uint32_t r = static_cast<uint32_t>(part_lo + local);
+                // Size filter: |x|·t <= |y| <= |x|/t is necessary for
+                // jaccard >= t.
+                double ls = static_cast<double>(lt[l].size());
+                double rs = static_cast<double>(rt[r].size());
+                if (rs < ls * threshold_ || rs > ls / threshold_) continue;
+                ++chunk_verified;
+                if (JaccardSimilarity(lp->ids(l), rp->ids(r)) >= threshold_) {
+                  chunk.push_back({static_cast<uint32_t>(l), r});
+                }
               }
             }
+            for (uint32_t local : touched) seen[local] = 0;
+            touched.clear();
           }
-          for (uint32_t r : touched) seen[r] = 0;
-          touched.clear();
-        }
-        verified.fetch_add(chunk_verified, std::memory_order_relaxed);
-        return chunk;
-      });
+          verified.fetch_add(chunk_verified, std::memory_order_relaxed);
+          return chunk;
+        });
+    out.insert(out.end(), pairs.begin(), pairs.end());
+    if (plan.num_partitions > 1) {
+      if (loud) {
+        EMX_LOG(Info) << "jaccard_join: partition " << (part + 1) << "/"
+                      << plan.num_partitions << " done (" << out.size()
+                      << " candidates so far)";
+      } else {
+        EMX_LOG(Debug) << "jaccard_join: partition " << (part + 1) << "/"
+                       << plan.num_partitions << " done";
+      }
+    }
+  }
   stats->verified += verified.load();
   return CandidateSet(std::move(out));
 }

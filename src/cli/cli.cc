@@ -12,6 +12,7 @@
 #include "src/block/overlap_blocker.h"
 #include "src/block/similarity_join.h"
 #include "src/core/strings.h"
+#include "src/datagen/scale_corpus.h"
 #include "src/eval/corleone_estimator.h"
 #include "src/feature/feature_gen.h"
 #include "src/feature/vectorizer.h"
@@ -126,6 +127,19 @@ Result<LabeledSet> ReadLabelsCsv(const std::string& path) {
 
 // --- blocker construction --------------------------------------------------------
 
+// Parses the global --block-mem-budget flag (human byte sizes: "64M",
+// "2g", plain bytes). 0 / absent = unbounded (single partition).
+Result<size_t> BlockMemBudgetFromArgs(const Args& args) {
+  std::string raw = args.Flag("block-mem-budget");
+  if (raw.empty()) return size_t{0};
+  size_t bytes = 0;
+  if (!ParseByteSize(raw, &bytes)) {
+    return Status::InvalidArgument("--block-mem-budget: bad byte size '" +
+                                   raw + "' (e.g. 64M, 2g, 1048576)");
+  }
+  return bytes;
+}
+
 // Builds a blocker from --method and its parameter flags; shared by the
 // block and run subcommands. InvalidArgument on an unknown method.
 Result<std::shared_ptr<Blocker>> MakeBlockerFromArgs(
@@ -135,6 +149,7 @@ Result<std::shared_ptr<Blocker>> MakeBlockerFromArgs(
   OverlapBlockerOptions opts;
   opts.left_attr = left_attr;
   opts.right_attr = right_attr;
+  EMX_ASSIGN_OR_RETURN(opts.mem_budget_bytes, BlockMemBudgetFromArgs(args));
   std::shared_ptr<Blocker> blocker;
   if (method == "ae") {
     blocker = std::make_shared<AttrEquivalenceBlocker>(left_attr, right_attr);
@@ -317,6 +332,9 @@ int CmdDedupe(const Args& args, const ExecutorContext& ctx, std::string& out,
   OverlapBlockerOptions opts;
   opts.left_attr = attr;
   opts.right_attr = attr;
+  auto budget = BlockMemBudgetFromArgs(args);
+  if (!budget.ok()) return Fail(err, budget.status().message());
+  opts.mem_budget_bytes = *budget;
   if (method == "ae") {
     blocker = std::make_unique<AttrEquivalenceBlocker>(attr, attr);
   } else if (method == "overlap") {
@@ -337,6 +355,51 @@ int CmdDedupe(const Args& args, const ExecutorContext& ctx, std::string& out,
     Status s = WritePairsCsv(*dup, out_path);
     if (!s.ok()) return Fail(err, s.ToString());
     out += "wrote " + out_path + "\n";
+  }
+  return 0;
+}
+
+int CmdDatagen(const Args& args, const ExecutorContext& ctx, std::string& out,
+               std::string& err) {
+  if (!args.positional.empty() || !args.Has("out-left") ||
+      !args.Has("out-right")) {
+    return Fail(err,
+                "usage: emx datagen --sf=N [--seed=N] [--shard-rows=N] "
+                "[--match-rate=P] --out-left=left.csv --out-right=right.csv "
+                "[--out-gold=gold.csv]");
+  }
+  ScaleCorpusOptions opts;
+  if (args.Has("sf")) opts.scale_factor = std::atof(args.Flag("sf").c_str());
+  if (args.Has("seed")) {
+    opts.seed = std::strtoull(args.Flag("seed").c_str(), nullptr, 10);
+  }
+  if (args.Has("shard-rows")) {
+    long n = std::atol(args.Flag("shard-rows").c_str());
+    if (n <= 0) return Fail(err, "--shard-rows must be a positive integer");
+    opts.shard_rows = static_cast<size_t>(n);
+  }
+  if (args.Has("match-rate")) {
+    opts.match_rate = std::atof(args.Flag("match-rate").c_str());
+  }
+  auto corpus = GenerateScaleCorpus(opts, ctx);
+  if (!corpus.ok()) return Fail(err, corpus.status().ToString());
+  if (Status s = WriteCsvFile(corpus->left, args.Flag("out-left")); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+  if (Status s = WriteCsvFile(corpus->right, args.Flag("out-right"));
+      !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+  out += StrFormat("sf=%g: wrote %zu left rows to %s, %zu right rows to %s\n",
+                   opts.scale_factor, corpus->left.num_rows(),
+                   args.Flag("out-left").c_str(), corpus->right.num_rows(),
+                   args.Flag("out-right").c_str());
+  std::string gold_path = args.Flag("out-gold");
+  if (!gold_path.empty()) {
+    Status s = WritePairsCsv(corpus->gold, gold_path);
+    if (!s.ok()) return Fail(err, s.ToString());
+    out += StrFormat("wrote %zu gold pairs to %s\n", corpus->gold.size(),
+                     gold_path.c_str());
   }
   return 0;
 }
@@ -548,7 +611,8 @@ int RunCli(const std::vector<std::string>& args, std::string& out,
            std::string& err) {
   if (args.empty()) {
     return Fail(err,
-                "usage: emx <profile|block|match|estimate|run> ...\n"
+                "usage: emx <profile|datagen|block|dedupe|match|estimate|run>"
+                " ...\n"
                 "see src/cli/cli.h for full flag documentation");
   }
   Args parsed = ParseArgs(args, 1);
@@ -590,6 +654,7 @@ int RunCli(const std::vector<std::string>& args, std::string& out,
 
   const std::string& cmd = args[0];
   if (cmd == "profile") return CmdProfile(parsed, out, err);
+  if (cmd == "datagen") return CmdDatagen(parsed, ctx, out, err);
   if (cmd == "block") return CmdBlock(parsed, ctx, out, err);
   if (cmd == "dedupe") return CmdDedupe(parsed, ctx, out, err);
   if (cmd == "match") return CmdMatch(parsed, ctx, out, err);

@@ -10,9 +10,12 @@ namespace emx {
 // handling and every subcommand are unit-testable in-process.
 //
 //   emx profile  <table.csv>
+//   emx datagen  --sf=N [--seed=N] [--shard-rows=N] [--match-rate=P]
+//                --out-left=left.csv --out-right=right.csv
+//                [--out-gold=gold.csv]
 //   emx block    <left.csv> <right.csv> --method=ae|overlap|coeff|jaccard|snb
 //                --left-attr=COL [--right-attr=COL] [--k=3] [--threshold=0.7]
-//                [--window=5] --out=pairs.csv
+//                [--window=5] [--block-mem-budget=SIZE] --out=pairs.csv
 //   emx match    <left.csv> <right.csv> --pairs=pairs.csv --labels=labels.csv
 //                [--matcher=tree|forest|logreg|nb|svm|linreg]
 //                [--exclude=col1,col2] [--lowercase=colA,colB]
@@ -32,10 +35,21 @@ namespace emx {
 // mid-pipeline resumes from the last completed stage and produces
 // bit-identical matches to an uninterrupted run.
 //
+// `emx datagen` generates a synthetic scale-factor corpus (sf=1 is 1000
+// rows per side; token frequencies are NURand-skewed) plus its gold match
+// pairs. Generation is row-seeded: the same --sf and --seed produce
+// bit-identical CSVs at every --threads and --shard-rows setting.
+//
 // Every subcommand also accepts a global `--threads=N` flag selecting how
 // many threads the blocking/vectorization/matching stages run on (default:
 // the EMX_THREADS env var, else all hardware threads). Results are
 // identical at any thread count.
+//
+// Overlap/coeff/jaccard blocking accepts `--block-mem-budget=SIZE` (human
+// byte sizes: 64M, 2g, 1048576) bounding the peak index + probe working
+// set; the join then streams right-table partitions under that budget.
+// The candidate set is bit-identical at every budget (0/absent =
+// unbounded, one partition).
 //
 // Fault injection: the global `--fail-point=<spec>[;<spec>...]` flag (and
 // the EMX_FAILPOINTS env var, same format) arms named failpoints for the

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace emx {
@@ -78,6 +79,46 @@ bool IsAllDigits(std::string_view s) {
   for (char c : s) {
     if (c < '0' || c > '9') return false;
   }
+  return true;
+}
+
+bool ParseByteSize(std::string_view s, size_t* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  size_t digits = 0;
+  while (digits < s.size() && s[digits] >= '0' && s[digits] <= '9') ++digits;
+  if (digits == 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 0; i < digits; ++i) {
+    uint64_t d = static_cast<uint64_t>(s[i] - '0');
+    if (value > (UINT64_MAX - d) / 10) return false;
+    value = value * 10 + d;
+  }
+  std::string_view suffix = s.substr(digits);
+  uint64_t multiplier = 1;
+  if (!suffix.empty()) {
+    char unit = suffix[0];
+    if (unit >= 'A' && unit <= 'Z') unit = static_cast<char>(unit - 'A' + 'a');
+    switch (unit) {
+      case 'k': multiplier = 1ull << 10; break;
+      case 'm': multiplier = 1ull << 20; break;
+      case 'g': multiplier = 1ull << 30; break;
+      case 't': multiplier = 1ull << 40; break;
+      case 'b':  // bare bytes suffix, "512b"
+        if (suffix.size() != 1) return false;
+        *out = static_cast<size_t>(value);
+        return true;
+      default: return false;
+    }
+    // Optional trailing 'b'/'B' ("64MB"); anything else is malformed.
+    if (suffix.size() == 2) {
+      if (suffix[1] != 'b' && suffix[1] != 'B') return false;
+    } else if (suffix.size() > 2) {
+      return false;
+    }
+  }
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) return false;
+  *out = static_cast<size_t>(value * multiplier);
   return true;
 }
 

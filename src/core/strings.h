@@ -36,6 +36,12 @@ std::string StripPunctuation(std::string_view s);
 // True if `s` consists only of ASCII digits (and is non-empty).
 bool IsAllDigits(std::string_view s);
 
+// Parses a human byte size: a non-negative integer with an optional
+// k/m/g/t suffix (case-insensitive, optional trailing 'b'), e.g. "64M",
+// "512kb", "2g", "1048576". Returns false on malformed input or overflow.
+// Used by the --block-mem-budget flag and the partitioned blocking engine.
+bool ParseByteSize(std::string_view s, size_t* out);
+
 // True if `prefix`/`suffix` bounds `s`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);

@@ -1,0 +1,315 @@
+#include "src/datagen/scale_corpus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+#include "src/core/strings.h"
+#include "src/datagen/vocab.h"
+
+namespace emx {
+
+namespace internal_datagen {
+
+std::string ScaleTerm(size_t i) {
+  // SyntheticTerm covers 20*20*10 = 4000 pure syllable compositions; wider
+  // indices append a numeric disambiguator so every index stays distinct.
+  constexpr size_t kNaturalRange = 4000;
+  std::string base = vocab::SyntheticTerm(i % kNaturalRange);
+  if (i >= kNaturalRange) base += StrFormat("%zu", i / kNaturalRange);
+  return base;
+}
+
+size_t ScaleRows(const ScaleCorpusOptions& options) {
+  double rows = options.scale_factor * static_cast<double>(options.rows_per_sf);
+  return rows < 1.0 ? 1 : static_cast<size_t>(rows);
+}
+
+}  // namespace internal_datagen
+
+namespace {
+
+using internal_datagen::ScaleRows;
+using internal_datagen::ScaleTerm;
+
+// Two rounds of SplitMix64 finalization over a combined (seed, stream, row)
+// key. Each row's engine is seeded by this mix alone, which is what makes
+// generation independent of shard boundaries and thread scheduling.
+uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t row) {
+  uint64_t x = seed + 0x9E3779B97F4A7C15ull * (stream + 1) +
+               0xBF58476D1CE4E5B9ull * (row + 1);
+  for (int round = 0; round < 2; ++round) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
+// Per-aspect substreams: a matched right row recomputes its partner's
+// title with kLeftTitle alone, so left-side generation may draw any number
+// of values for the OTHER columns without desynchronizing the recompute.
+constexpr uint64_t kLeftTitle = 1;
+constexpr uint64_t kLeftRest = 2;
+constexpr uint64_t kRightRow = 3;
+
+// TPC-C NURand(A, 0, n-1): (rand(0,A) | rand(0,n-1) + C) % n. The OR piles
+// probability mass onto ranks whose low bits are set, and the seed-derived
+// constant C rotates WHICH ranks are hot between corpora.
+size_t NURand(RandomEngine& rng, size_t a, size_t n, size_t c) {
+  size_t lhs = static_cast<size_t>(rng.NextBelow(a + 1));
+  size_t rhs = static_cast<size_t>(rng.NextBelow(n));
+  return ((lhs | rhs) + c) % n;
+}
+
+std::vector<std::string> MakeScaleTitleTokens(RandomEngine& rng,
+                                              const ScaleCorpusOptions& opt,
+                                              size_t nurand_c) {
+  size_t span = opt.max_title_tokens - opt.min_title_tokens + 1;
+  size_t len = opt.min_title_tokens + static_cast<size_t>(rng.NextBelow(span));
+  std::vector<std::string> tokens;
+  tokens.reserve(len);
+  size_t cold_terms = opt.vocab_size - opt.hot_ranks;
+  for (size_t i = 0; i < len; ++i) {
+    size_t term;
+    if (rng.NextBernoulli(opt.hot_fraction)) {
+      term = NURand(rng, opt.nurand_a, opt.hot_ranks, nurand_c);
+    } else {
+      term = opt.hot_ranks + static_cast<size_t>(rng.NextBelow(cold_terms));
+    }
+    tokens.push_back(ScaleTerm(term));
+  }
+  return tokens;
+}
+
+// The left-partner title a matched right row copies; derived purely from
+// the partner's row index so any shard can recompute it.
+std::vector<std::string> LeftTitleTokens(const ScaleCorpusOptions& opt,
+                                         size_t row, size_t nurand_c) {
+  RandomEngine rng(MixSeed(opt.seed, kLeftTitle, row));
+  return MakeScaleTitleTokens(rng, opt, nurand_c);
+}
+
+// The same drift NoisyTokens applies in universe.cc (token drop, adjacent
+// swap, rare typo), re-rolled here against the right row's own engine.
+std::vector<std::string> DriftTokens(std::vector<std::string> tokens,
+                                     RandomEngine& rng) {
+  if (tokens.size() > 4 && rng.NextBernoulli(0.25)) {
+    tokens.erase(tokens.begin() +
+                 static_cast<long>(rng.NextBelow(tokens.size())));
+  }
+  if (tokens.size() > 3 && rng.NextBernoulli(0.15)) {
+    size_t i = static_cast<size_t>(rng.NextBelow(tokens.size() - 1));
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  if (tokens.size() > 3 && rng.NextBernoulli(0.08)) {
+    size_t i = static_cast<size_t>(rng.NextBelow(tokens.size()));
+    if (tokens[i].size() > 3) {
+      size_t c = 1 + static_cast<size_t>(rng.NextBelow(tokens[i].size() - 2));
+      tokens[i][c] = static_cast<char>('a' + rng.NextBelow(26));
+    }
+  }
+  return tokens;
+}
+
+struct LeftRow {
+  std::string id;
+  std::string title;
+  std::string pi;
+  int64_t year;
+};
+
+struct RightRow {
+  std::string id;
+  std::string title;
+  std::string director;
+  int64_t year;
+  int64_t partner;  // left row index for matches, -1 for filler
+};
+
+LeftRow MakeLeftRow(const ScaleCorpusOptions& opt, size_t row,
+                    size_t nurand_c) {
+  LeftRow out;
+  out.id = StrFormat("U%08zu", row);
+  out.title = ToUpperTitle(LeftTitleTokens(opt, row, nurand_c));
+  RandomEngine rest(MixSeed(opt.seed, kLeftRest, row));
+  out.pi = FormatUmetricsName(MakePerson(rest));
+  out.year = static_cast<int64_t>(1997 + rest.NextBelow(16));
+  return out;
+}
+
+RightRow MakeRightRow(const ScaleCorpusOptions& opt, size_t row,
+                      size_t num_left, size_t nurand_c) {
+  RightRow out;
+  out.id = StrFormat("S%08zu", row);
+  RandomEngine rng(MixSeed(opt.seed, kRightRow, row));
+  bool matched = rng.NextBernoulli(opt.match_rate);
+  if (matched) {
+    size_t partner = static_cast<size_t>(rng.NextBelow(num_left));
+    out.partner = static_cast<int64_t>(partner);
+    out.title = ToMixedTitle(
+        DriftTokens(LeftTitleTokens(opt, partner, nurand_c), rng));
+    RandomEngine partner_rest(MixSeed(opt.seed, kLeftRest, partner));
+    out.director = FormatUsdaDirector(MakePerson(partner_rest));
+    out.year = static_cast<int64_t>(1997 + partner_rest.NextBelow(16)) +
+               static_cast<int64_t>(rng.NextBelow(2));
+  } else {
+    out.partner = -1;
+    out.title = ToMixedTitle(MakeScaleTitleTokens(rng, opt, nurand_c));
+    out.director = FormatUsdaDirector(MakePerson(rng));
+    out.year = static_cast<int64_t>(1997 + rng.NextBelow(16));
+  }
+  return out;
+}
+
+// Progress visibility for SF>=100 runs (satellite: records/s + shards done
+// behind the logging layer). Small corpora log at Debug so tests and the
+// case-study path stay quiet.
+class ShardProgress {
+ public:
+  ShardProgress(const char* side, size_t total_rows, size_t num_shards)
+      : side_(side),
+        total_rows_(total_rows),
+        num_shards_(num_shards),
+        loud_(total_rows >= 100000),
+        log_every_(std::max<size_t>(1, num_shards / 10)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void ShardDone(size_t shard_rows) {
+    size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    size_t rows = rows_.fetch_add(shard_rows, std::memory_order_relaxed) +
+                  shard_rows;
+    if (done % log_every_ != 0 && done != num_shards_) return;
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    double rate = secs > 0 ? static_cast<double>(rows) / secs : 0;
+    if (loud_) {
+      EMX_LOG(Info) << "datagen[" << side_ << "]: " << done << "/"
+                    << num_shards_ << " shards, " << rows << "/" << total_rows_
+                    << " rows (" << StrFormat("%.0f", rate) << " records/s)";
+    } else {
+      EMX_LOG(Debug) << "datagen[" << side_ << "]: " << done << "/"
+                     << num_shards_ << " shards (" << StrFormat("%.0f", rate)
+                     << " records/s)";
+    }
+  }
+
+ private:
+  const char* side_;
+  size_t total_rows_;
+  size_t num_shards_;
+  bool loud_;
+  size_t log_every_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<size_t> done_{0};
+  std::atomic<size_t> rows_{0};
+};
+
+}  // namespace
+
+Result<ScaleCorpus> GenerateScaleCorpus(const ScaleCorpusOptions& options,
+                                        const ExecutorContext& ctx) {
+  if (options.scale_factor <= 0) {
+    return Status::InvalidArgument(
+        "GenerateScaleCorpus: scale_factor must be positive");
+  }
+  if (options.vocab_size <= options.hot_ranks || options.hot_ranks == 0) {
+    return Status::InvalidArgument(
+        "GenerateScaleCorpus: need vocab_size > hot_ranks > 0");
+  }
+  if (options.min_title_tokens == 0 ||
+      options.max_title_tokens < options.min_title_tokens) {
+    return Status::InvalidArgument(
+        "GenerateScaleCorpus: bad title token range");
+  }
+  const size_t rows = ScaleRows(options);
+  const size_t shard_rows = std::max<size_t>(1, options.shard_rows);
+  const size_t num_shards = (rows + shard_rows - 1) / shard_rows;
+  // The hot-rank rotation constant, fixed per corpus (TPC-C fixes C per
+  // run); derived from the seed so different corpora heat different ranks.
+  const size_t nurand_c = static_cast<size_t>(
+      MixSeed(options.seed, /*stream=*/0, /*row=*/0) % options.hot_ranks);
+
+  ScaleCorpus out;
+  Executor& exec = ctx.get();
+
+  // Left side: shards generate independently (row-seeded), then append in
+  // shard order — identical at any shard size / thread count.
+  {
+    ShardProgress progress("left", rows, num_shards);
+    std::vector<std::vector<LeftRow>> shards =
+        exec.ParallelMap(num_shards, /*grain=*/1, [&](size_t s) {
+          size_t lo = s * shard_rows;
+          size_t hi = std::min(rows, lo + shard_rows);
+          std::vector<LeftRow> shard;
+          shard.reserve(hi - lo);
+          for (size_t r = lo; r < hi; ++r) {
+            shard.push_back(MakeLeftRow(options, r, nurand_c));
+          }
+          progress.ShardDone(hi - lo);
+          return shard;
+        });
+    Table t(Schema({{"RecordId", DataType::kString},
+                    {"AwardTitle", DataType::kString},
+                    {"PIName", DataType::kString},
+                    {"StartYear", DataType::kInt64}}));
+    for (auto& shard : shards) {
+      for (LeftRow& r : shard) {
+        EMX_RETURN_IF_ERROR(t.AppendRow({Value(std::move(r.id)),
+                                         Value(std::move(r.title)),
+                                         Value(std::move(r.pi)),
+                                         Value(r.year)}));
+      }
+    }
+    out.left = std::move(t);
+  }
+
+  // Right side, plus gold pairs harvested from the matched rows.
+  {
+    ShardProgress progress("right", rows, num_shards);
+    std::vector<std::vector<RightRow>> shards =
+        exec.ParallelMap(num_shards, /*grain=*/1, [&](size_t s) {
+          size_t lo = s * shard_rows;
+          size_t hi = std::min(rows, lo + shard_rows);
+          std::vector<RightRow> shard;
+          shard.reserve(hi - lo);
+          for (size_t r = lo; r < hi; ++r) {
+            shard.push_back(MakeRightRow(options, r, rows, nurand_c));
+          }
+          progress.ShardDone(hi - lo);
+          return shard;
+        });
+    Table t(Schema({{"RecordId", DataType::kString},
+                    {"AwardTitle", DataType::kString},
+                    {"Director", DataType::kString},
+                    {"StartYear", DataType::kInt64}}));
+    std::vector<RecordPair> gold;
+    size_t row = 0;
+    for (auto& shard : shards) {
+      for (RightRow& r : shard) {
+        if (r.partner >= 0) {
+          gold.push_back({static_cast<uint32_t>(r.partner),
+                          static_cast<uint32_t>(row)});
+        }
+        EMX_RETURN_IF_ERROR(t.AppendRow({Value(std::move(r.id)),
+                                         Value(std::move(r.title)),
+                                         Value(std::move(r.director)),
+                                         Value(r.year)}));
+        ++row;
+      }
+    }
+    out.right = std::move(t);
+    out.gold = CandidateSet(std::move(gold));
+  }
+  return out;
+}
+
+}  // namespace emx

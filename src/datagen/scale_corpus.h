@@ -1,0 +1,93 @@
+#ifndef EMX_DATAGEN_SCALE_CORPUS_H_
+#define EMX_DATAGEN_SCALE_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/block/candidate_set.h"
+#include "src/core/executor.h"
+#include "src/core/result.h"
+#include "src/table/table.h"
+
+namespace emx {
+
+// TPC-C-style scale-factor generator for million-row blocking/matching
+// workloads. The paper's case-study universe is frozen at 1336+496 / 1915
+// rows; this generator produces UMETRICS/USDA-shaped two-table corpora at
+// `scale_factor * rows_per_sf` rows PER SIDE (SF 1000 => 1M+1M rows) with
+// gold match pairs, so the kernel layers can be benchmarked at the scale
+// the ROADMAP targets.
+//
+// Determinism contract (stronger than GenerateCaseStudy's): every row is
+// generated from its own seed, derived purely from (corpus seed, side, row
+// index) — never from a sequential stream. Generation is sharded across the
+// executor for speed, but the same (seed, scale_factor) produces a
+// BIT-IDENTICAL corpus at any thread count and any shard size, because no
+// row ever reads another shard's random state. Matched right rows recompute
+// their left partner's title directly from the partner's row seed, so even
+// cross-row dependencies stay shard-free.
+//
+// Token-frequency skew follows the TPC-C NURand recipe: a small hot rank
+// set is drawn through NURand(A, 0, hot_ranks-1) — the OR of two uniforms
+// plus a seed-derived constant C, concentrating mass on a few ranks — while
+// the cold tail draws uniformly from a wide synthetic lexicon. The result
+// is a realistic Zipf-like distribution: a handful of tokens appear in a
+// percent of all titles (stressing the dense-count probe loops) while most
+// tokens are rare (rewarding the rare-token-first probe order).
+struct ScaleCorpusOptions {
+  uint64_t seed = 2019;
+  double scale_factor = 1.0;  // rows per side = scale_factor * rows_per_sf
+  size_t rows_per_sf = 1000;
+
+  // Parallel generation grain: shard s generates rows [s*shard_rows,
+  // (s+1)*shard_rows). Purely a scheduling knob — the corpus is identical
+  // for every value (tested at several).
+  size_t shard_rows = 4096;
+
+  // Fraction of right rows that are noisy copies of some left row (gold
+  // matches); the rest are unrelated filler.
+  double match_rate = 0.3;
+
+  // Title shape: lengths uniform in [min_title_tokens, max_title_tokens].
+  size_t min_title_tokens = 5;
+  size_t max_title_tokens = 11;
+
+  // Skew shape. Each token slot draws a hot rank with probability
+  // `hot_fraction` (via NURand over [0, hot_ranks)) and a uniform cold
+  // term from the remaining `vocab_size - hot_ranks` otherwise.
+  double hot_fraction = 0.12;
+  size_t hot_ranks = 256;
+  size_t nurand_a = 63;     // TPC-C A parameter for the hot-rank NURand
+  size_t vocab_size = 50000;
+};
+
+struct ScaleCorpus {
+  // Left, UMETRICS-style: RecordId, AwardTitle (UPPERCASE), PIName,
+  // StartYear. Right, USDA-style: RecordId, AwardTitle (Mixed Case),
+  // Director, StartYear. The case drift mirrors the case-study tables so
+  // lowercase-normalizing blockers face the same shape.
+  Table left;
+  Table right;
+  CandidateSet gold;  // (left row, right row) true matches
+};
+
+// Generates the corpus, sharded over `ctx`'s executor. InvalidArgument on a
+// non-positive scale factor or a degenerate options combination.
+Result<ScaleCorpus> GenerateScaleCorpus(const ScaleCorpusOptions& options = {},
+                                        const ExecutorContext& ctx = {});
+
+namespace internal_datagen {
+
+// Deterministic scale-lexicon term #i in [0, vocab_size): the synthetic
+// agronomy lexicon extended with a numeric disambiguator past its natural
+// range. Pure function of the index.
+std::string ScaleTerm(size_t i);
+
+// Rows per side for an options struct (scale_factor * rows_per_sf, min 1).
+size_t ScaleRows(const ScaleCorpusOptions& options);
+
+}  // namespace internal_datagen
+
+}  // namespace emx
+
+#endif  // EMX_DATAGEN_SCALE_CORPUS_H_

@@ -302,6 +302,36 @@ TEST(StringsTest, IsAllDigits) {
   EXPECT_FALSE(IsAllDigits("-1"));
 }
 
+TEST(StringsTest, ParseByteSize) {
+  size_t v = 0;
+  EXPECT_TRUE(ParseByteSize("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseByteSize("1048576", &v));
+  EXPECT_EQ(v, 1048576u);
+  EXPECT_TRUE(ParseByteSize("64M", &v));
+  EXPECT_EQ(v, 64u << 20);
+  EXPECT_TRUE(ParseByteSize("512kb", &v));
+  EXPECT_EQ(v, 512u << 10);
+  EXPECT_TRUE(ParseByteSize("2g", &v));
+  EXPECT_EQ(v, 2ull << 30);
+  EXPECT_TRUE(ParseByteSize("1T", &v));
+  EXPECT_EQ(v, 1ull << 40);
+  EXPECT_TRUE(ParseByteSize("3B", &v));
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(StringsTest, ParseByteSizeRejectsMalformedAndOverflow) {
+  size_t v = 0;
+  EXPECT_FALSE(ParseByteSize("", &v));
+  EXPECT_FALSE(ParseByteSize("M", &v));
+  EXPECT_FALSE(ParseByteSize("-1", &v));
+  EXPECT_FALSE(ParseByteSize("1.5G", &v));
+  EXPECT_FALSE(ParseByteSize("64X", &v));
+  EXPECT_FALSE(ParseByteSize("64Mb extra", &v));
+  EXPECT_FALSE(ParseByteSize("99999999999999999999", &v));  // digit overflow
+  EXPECT_FALSE(ParseByteSize("18446744073709551615k", &v));  // mult overflow
+}
+
 TEST(StringsTest, StartsEndsWith) {
   EXPECT_TRUE(StartsWith("WIS01040", "WIS"));
   EXPECT_FALSE(StartsWith("WI", "WIS"));
