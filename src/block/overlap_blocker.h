@@ -55,6 +55,12 @@ class OverlapBlocker : public Blocker {
     prep_cache_ = std::move(cache);
   }
 
+  // Configuration introspection (MatchService::Create replays the same
+  // normalization, tokenizer, and keep predicate against its delta index).
+  const OverlapBlockerOptions& options() const { return options_; }
+  size_t min_overlap() const { return min_overlap_; }
+  const std::shared_ptr<Tokenizer>& tokenizer() const { return tokenizer_; }
+
  private:
   OverlapBlockerOptions options_;
   size_t min_overlap_;
@@ -79,6 +85,10 @@ class OverlapCoefficientBlocker : public Blocker {
   void set_prep_cache(std::shared_ptr<PrepCache> cache) override {
     prep_cache_ = std::move(cache);
   }
+
+  const OverlapBlockerOptions& options() const { return options_; }
+  double threshold() const { return threshold_; }
+  const std::shared_ptr<Tokenizer>& tokenizer() const { return tokenizer_; }
 
  private:
   OverlapBlockerOptions options_;

@@ -1,9 +1,12 @@
 #include "src/cli/cli.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 
 #include "src/block/attr_equivalence_blocker.h"
 #include "src/core/executor.h"
@@ -22,6 +25,8 @@
 #include "src/ml/logistic_regression.h"
 #include "src/ml/naive_bayes.h"
 #include "src/ml/random_forest.h"
+#include "src/serve/match_service.h"
+#include "src/serve/serve_loop.h"
 #include "src/table/csv.h"
 #include "src/table/profile.h"
 #include "src/workflow/checkpoint.h"
@@ -605,13 +610,126 @@ int CmdRun(const Args& args, const ExecutorContext& ctx, std::string& out,
   return 0;
 }
 
+// --- the resident matcher (emx serve) --------------------------------------------
+
+// Trains exactly like `emx run` (decided labels → vectorize → imputer →
+// matcher Fit), packages the workflow into a resident MatchService over the
+// right-hand corpus, and answers line-delimited JSON requests — from
+// --requests=FILE (responses land in `out`, in-process testable) or from
+// stdin (responses stream to stdout as they are produced).
+int CmdServe(const Args& args, const ExecutorContext& ctx, std::string& out,
+             std::string& err) {
+  if (args.positional.size() != 2) {
+    return Fail(err,
+                "usage: emx serve <left.csv> <corpus.csv> --left-attr=... "
+                "--labels=... [--method=overlap|coeff] [--matcher=forest] "
+                "[--exclude=...] [--lowercase=...] [--requests=FILE] "
+                "[--queue-capacity=N] [--batch-max=N] "
+                "[--compact-threshold=N]");
+  }
+  auto left = ReadCsvFile(args.positional[0]);
+  if (!left.ok()) return Fail(err, left.status().ToString());
+  auto corpus = ReadCsvFile(args.positional[1]);
+  if (!corpus.ok()) return Fail(err, corpus.status().ToString());
+
+  std::string left_attr = args.Flag("left-attr");
+  std::string right_attr = args.Flag("right-attr", left_attr);
+  if (left_attr.empty()) return Fail(err, "--left-attr is required");
+  auto blocker_or = MakeBlockerFromArgs(args, left_attr, right_attr);
+  if (!blocker_or.ok()) return Fail(err, blocker_or.status().message());
+
+  if (!args.Has("labels")) return Fail(err, "--labels is required");
+  auto labels = ReadLabelsCsv(args.Flag("labels"));
+  if (!labels.ok()) return Fail(err, labels.status().ToString());
+
+  FeatureGenOptions fopts;
+  for (auto& col : Split(args.Flag("exclude"), ',')) {
+    if (!col.empty()) fopts.exclude.push_back(col);
+  }
+  for (auto& col : Split(args.Flag("lowercase"), ',')) {
+    if (!col.empty()) fopts.lowercase_variants.push_back(col);
+  }
+  auto features = GenerateFeatures(*left, *corpus, fopts);
+  if (!features.ok()) return Fail(err, features.status().ToString());
+
+  LabeledSet decided = labels->WithoutUnsure();
+  CandidateSet train_pairs = decided.Pairs();
+  auto train_matrix =
+      VectorizePairs(*left, *corpus, train_pairs, *features, ctx);
+  if (!train_matrix.ok()) return Fail(err, train_matrix.status().ToString());
+  MeanImputer imputer;
+  imputer.Fit(*train_matrix);
+  if (Status s = imputer.Transform(*train_matrix); !s.ok()) {
+    return Fail(err, s.ToString());
+  }
+
+  auto made = MakeMatcherByName(args.Flag("matcher", "forest"));
+  if (!made.ok()) return Fail(err, made.status().ToString());
+  std::shared_ptr<MlMatcher> matcher(std::move(*made));
+  matcher->set_executor(ctx);
+  Dataset train;
+  train.feature_names = train_matrix->feature_names;
+  train.x = train_matrix->rows;
+  for (const RecordPair& p : train_pairs) {
+    Label l = Label::kNo;
+    decided.GetLabel(p, &l);
+    train.y.push_back(l == Label::kYes ? 1 : 0);
+  }
+  if (Status s = matcher->Fit(train); !s.ok()) return Fail(err, s.ToString());
+
+  EmWorkflow wf;
+  wf.SetExecutor(ctx);
+  wf.AddBlocker(*blocker_or);
+  wf.SetMatcher(matcher, std::move(*features), std::move(imputer));
+
+  MatchServiceOptions sopts;
+  if (args.Has("compact-threshold")) {
+    sopts.compact_threshold = static_cast<size_t>(
+        std::atol(args.Flag("compact-threshold").c_str()));
+  }
+  auto service = MatchService::Create(wf, *corpus, sopts, ctx);
+  if (!service.ok()) return Fail(err, service.status().ToString());
+
+  ServeOptions lopts;
+  lopts.queue_capacity = static_cast<size_t>(
+      std::atol(args.Flag("queue-capacity", "128").c_str()));
+  lopts.batch_max =
+      static_cast<size_t>(std::atol(args.Flag("batch-max", "16").c_str()));
+
+  const std::string requests_path = args.Flag("requests");
+  ServeCounters totals;
+  if (!requests_path.empty()) {
+    std::ifstream in(requests_path);
+    if (!in) return Fail(err, "serve: cannot open " + requests_path);
+    std::ostringstream responses;
+    ServeLoop loop(service->get(), lopts, &responses, ctx);
+    if (Status s = loop.Run(in); !s.ok()) return Fail(err, s.ToString());
+    out += responses.str();
+    totals.admitted = loop.counters().admitted.load();
+    totals.shed = loop.counters().shed.load();
+    totals.parse_errors = loop.counters().parse_errors.load();
+  } else {
+    ServeLoop loop(service->get(), lopts, &std::cout, ctx);
+    if (Status s = loop.Run(std::cin); !s.ok()) return Fail(err, s.ToString());
+    totals.admitted = loop.counters().admitted.load();
+    totals.shed = loop.counters().shed.load();
+    totals.parse_errors = loop.counters().parse_errors.load();
+  }
+  err += StrFormat("serve: %llu requests answered, %llu shed, %llu malformed\n",
+                   static_cast<unsigned long long>(totals.admitted.load()),
+                   static_cast<unsigned long long>(totals.shed.load()),
+                   static_cast<unsigned long long>(totals.parse_errors.load()));
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::string& out,
            std::string& err) {
   if (args.empty()) {
     return Fail(err,
-                "usage: emx <profile|datagen|block|dedupe|match|estimate|run>"
+                "usage: emx "
+                "<profile|datagen|block|dedupe|match|estimate|run|serve>"
                 " ...\n"
                 "see src/cli/cli.h for full flag documentation");
   }
@@ -660,6 +778,7 @@ int RunCli(const std::vector<std::string>& args, std::string& out,
   if (cmd == "match") return CmdMatch(parsed, ctx, out, err);
   if (cmd == "estimate") return CmdEstimate(parsed, out, err);
   if (cmd == "run") return CmdRun(parsed, ctx, out, err);
+  if (cmd == "serve") return CmdServe(parsed, ctx, out, err);
   return Fail(err, "unknown command '" + cmd + "'");
 }
 

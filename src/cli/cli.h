@@ -27,6 +27,10 @@ namespace emx {
 //                [--method=...] [--matcher=tree|forest|logreg|nb|svm|linreg]
 //                [--exclude=...] [--lowercase=...]
 //                [--checkpoint-dir=DIR] [--resume] [--out=matches.csv]
+//   emx serve    <left.csv> <corpus.csv> --left-attr=COL --labels=labels.csv
+//                [--method=overlap|coeff] [--matcher=forest] [--exclude=...]
+//                [--lowercase=...] [--requests=FILE] [--queue-capacity=N]
+//                [--batch-max=N] [--compact-threshold=N]
 //
 // `emx run` executes the end-to-end pipeline (train → block → match) with
 // stage-level checkpointing: with --checkpoint-dir each stage's output (and
@@ -34,6 +38,14 @@ namespace emx {
 // with --resume skips every stage whose inputs are unchanged — a run killed
 // mid-pipeline resumes from the last completed stage and produces
 // bit-identical matches to an uninterrupted run.
+//
+// `emx serve` trains the same way `emx run` does, then stays resident: it
+// packages the workflow into a MatchService over <corpus.csv> and answers
+// line-delimited JSON requests (lookup/insert/remove/compact/stats — see
+// src/serve/serve_loop.h for the schema) from stdin, or from
+// --requests=FILE for scripted sessions. Admission is bounded: at most
+// --queue-capacity requests wait while --batch-max process; overload is
+// shed immediately with a typed Unavailable response.
 //
 // `emx datagen` generates a synthetic scale-factor corpus (sf=1 is 1000
 // rows per side; token frequencies are NURand-skewed) plus its gold match

@@ -1,5 +1,6 @@
 #include "src/core/failpoint.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "src/core/strings.h"
@@ -11,14 +12,18 @@ void FailPoint::Arm(const FailPointConfig& config) {
   config_ = config;
   remaining_ = config.count;
   rng_ = RandomEngine(config.seed);
+  ++arm_epoch_;
   // Release-publish after the config is in place so a concurrent Check()
   // that observes armed_ == true always sees the new config under mu_.
   armed_.store(true, std::memory_order_release);
+  cv_.notify_all();
 }
 
 void FailPoint::Disarm() {
   std::lock_guard<std::mutex> lk(mu_);
   armed_.store(false, std::memory_order_release);
+  ++arm_epoch_;
+  cv_.notify_all();
 }
 
 void FailPoint::ResetCounters() {
@@ -27,7 +32,7 @@ void FailPoint::ResetCounters() {
 }
 
 Status FailPoint::Evaluate() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   // Re-check under the lock: a concurrent Disarm() may have won.
   if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -42,6 +47,22 @@ Status FailPoint::Evaluate() {
     case FailPointMode::kProb:
       fire = rng_.NextBernoulli(config_.probability);
       break;
+    case FailPointMode::kBlock: {
+      // Park the caller until the point is re-armed or disarmed (epoch
+      // change), bounded by the configured timeout. Counts as a fire so
+      // `count=N` releases after N blocked hits by auto-disarming.
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      if (remaining_ > 0 && --remaining_ == 0) {
+        armed_.store(false, std::memory_order_release);
+        ++arm_epoch_;
+        cv_.notify_all();
+        return Status::OK();
+      }
+      const uint64_t entry_epoch = arm_epoch_;
+      cv_.wait_for(lk, std::chrono::milliseconds(config_.block_timeout_ms),
+                   [&] { return arm_epoch_ != entry_epoch; });
+      return Status::OK();
+    }
   }
   if (!fire) return Status::OK();
 
@@ -81,10 +102,15 @@ Status ParseMode(const std::string& token, FailPointConfig* config) {
     config->mode = FailPointMode::kOff;
     return Status::OK();
   }
+  if (token == "block") {
+    config->mode = FailPointMode::kBlock;
+    return Status::OK();
+  }
   size_t open = token.find('(');
   if (open == std::string::npos || token.back() != ')') {
-    return Status::InvalidArgument("bad failpoint mode '" + token +
-                                   "' (want off, error(<code>), prob(<p>))");
+    return Status::InvalidArgument(
+        "bad failpoint mode '" + token +
+        "' (want off, block, error(<code>), prob(<p>))");
   }
   std::string kind = token.substr(0, open);
   std::string arg = token.substr(open + 1, token.size() - open - 2);
@@ -135,6 +161,14 @@ Status ParseOption(const std::string& token, FailPointConfig* config) {
   }
   if (key == "seed") {
     config->seed = static_cast<uint64_t>(v);
+    return Status::OK();
+  }
+  if (key == "timeout_ms") {
+    if (v <= 0) {
+      return Status::InvalidArgument(
+          "failpoint timeout_ms must be positive: '" + token + "'");
+    }
+    config->block_timeout_ms = v;
     return Status::OK();
   }
   return Status::InvalidArgument("unknown failpoint option '" + key + "'");

@@ -2,6 +2,7 @@
 #define EMX_CORE_FAILPOINT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,12 @@ enum class FailPointMode {
   kOff,    // armed but inert (counts hits; useful for coverage probes)
   kError,  // every hit fires until `count` is exhausted
   kProb,   // each hit fires with probability `probability` (seeded RNG)
+  kBlock,  // every hit BLOCKS the calling thread until the point is
+           // disarmed (then returns OK). Deterministic stall for admission
+           // and overload tests: park a worker exactly at the instrumented
+           // site, observe the system saturate, disarm to release. A
+           // hard cap (block_timeout_ms) bounds the stall so a test that
+           // forgets to disarm degrades to a slow pass, never a CI hang.
 };
 
 struct FailPointConfig {
@@ -44,6 +51,10 @@ struct FailPointConfig {
   // `count=2` on an error-mode point makes exactly the first two hits fail —
   // the shape every retry test wants.
   int64_t count = -1;
+  // kBlock only: upper bound on one blocked wait. The default is generous
+  // enough that a test observing the stall never races it, yet a leaked
+  // armed point cannot wedge CI forever.
+  int64_t block_timeout_ms = 30000;
 };
 
 // One named failpoint. Stable address for the lifetime of the process (the
@@ -83,8 +94,10 @@ class FailPoint {
   std::atomic<uint64_t> fires_{0};
 
   mutable std::mutex mu_;  // guards config_, remaining_, rng_
+  std::condition_variable cv_;  // wakes kBlock waiters on Disarm/re-Arm
   FailPointConfig config_;
   int64_t remaining_ = -1;
+  uint64_t arm_epoch_ = 0;  // bumped by every Arm/Disarm; unblocks waiters
   RandomEngine rng_{0};
 };
 
@@ -103,6 +116,7 @@ class FailPointRegistry {
   //   <name>:off
   //   <name>:error(<StatusCode>)[,count=<n>]
   //   <name>:prob(<p>)[,seed=<s>][,count=<n>]
+  //   <name>:block[,count=<n>][,timeout_ms=<ms>]
   // e.g. "csv/read:error(IoError),count=2". InvalidArgument on bad syntax.
   Status ArmFromSpec(const std::string& spec);
 

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -34,7 +36,7 @@ bool StatusCodeFromString(std::string_view name, StatusCode* out) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kIoError, StatusCode::kParseError,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kNotImplemented}) {
+        StatusCode::kNotImplemented, StatusCode::kUnavailable}) {
     if (name == StatusCodeToString(code)) {
       *out = code;
       return true;

@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  kUnavailable,  // transient overload: retry later (serve-mode shedding)
 };
 
 // Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
@@ -70,6 +71,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   // Builds an error from a runtime-chosen code (failpoints inject whatever
   // code they were armed with). `code` must not be kOk; kOk degrades to an

@@ -9,14 +9,13 @@
 
 namespace emx {
 
-namespace {
-
-// The tokenizer a feature's prep spec asks for, or null for text-only prep.
 std::unique_ptr<Tokenizer> TokenizerForSpec(const FeaturePrepSpec& spec) {
   if (!spec.tokenize) return nullptr;
   if (spec.qgram > 0) return std::make_unique<QgramTokenizer>(spec.qgram);
   return std::make_unique<WhitespaceTokenizer>();
 }
+
+namespace {
 
 // Attribute columns a feature reads, resolved once; features with a prepared
 // evaluator bind to PreparedColumns built once per (column, prep spec) —

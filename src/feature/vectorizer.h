@@ -1,14 +1,23 @@
 #ifndef EMX_FEATURE_VECTORIZER_H_
 #define EMX_FEATURE_VECTORIZER_H_
 
+#include <memory>
+
 #include "src/block/candidate_set.h"
 #include "src/core/executor.h"
 #include "src/core/result.h"
 #include "src/feature/feature_gen.h"
 #include "src/feature/pair_batch.h"
 #include "src/table/table.h"
+#include "src/text/tokenizer.h"
 
 namespace emx {
+
+// The tokenizer a feature's prep spec asks for, or null for text-only
+// prep. Exported so MatchService preps its resident corpus segments with
+// EXACTLY the tokenization the batch vectorizer would use — one source of
+// truth for the spec → tokenizer mapping.
+std::unique_ptr<Tokenizer> TokenizerForSpec(const FeaturePrepSpec& spec);
 
 // Converts each candidate record pair into a feature vector by evaluating
 // every feature of `features` on the pair's attribute values (§9: "we used

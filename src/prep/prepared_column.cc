@@ -65,6 +65,16 @@ std::shared_ptr<const PreparedColumn> PrepCache::Get(
   return prepared;
 }
 
+std::shared_ptr<const PreparedColumn> PrepCache::PrepUncached(
+    const std::vector<Value>& column, const PrepOptions& options,
+    const Tokenizer* tokenizer) {
+  // Builds under mu_ because the interner is not internally synchronized:
+  // the cache mutex is the one lock every interning path takes.
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<const PreparedColumn>(column, options, tokenizer,
+                                                &interner_);
+}
+
 std::vector<std::string_view> PrepCache::TokenStringsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string_view> out;

@@ -123,6 +123,17 @@ class PrepCache {
                                             const PrepOptions& options,
                                             const Tokenizer* tokenizer);
 
+  // Builds a PreparedColumn sharing THIS cache's interner without entering
+  // it into the cache. For ephemeral columns — a serve-path query record,
+  // a delta-ingested corpus segment — whose storage address may be reused
+  // by a later, different column: caching them under an address key would
+  // let a recycled address alias a dead entry, so they are prepped fresh
+  // while still interning into the shared id universe (spans remain
+  // directly comparable with every cached column).
+  std::shared_ptr<const PreparedColumn> PrepUncached(
+      const std::vector<Value>& column, const PrepOptions& options,
+      const Tokenizer* tokenizer);
+
   // Snapshot of id -> token string for every token interned so far. The
   // views point at interner storage, which is append-only and
   // reference-stable, so they stay valid for the cache's lifetime. Used by

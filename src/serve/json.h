@@ -1,0 +1,115 @@
+#ifndef EMX_SERVE_JSON_H_
+#define EMX_SERVE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/result.h"
+
+namespace emx {
+
+// Minimal JSON document model for the serve protocol (line-delimited
+// request/response objects). Deliberately small: the wire format is ours,
+// so the parser only needs to be correct, not a general-purpose library —
+// no dependencies, recursive descent, strict (trailing garbage on a line
+// is a ParseError).
+//
+// Numbers are held as doubles (the protocol's numbers are scores, counts,
+// and record ids, all exact in a double up to 2^53). Object member order is
+// preserved (vector of pairs, not a map) so responses serialize in a
+// stable, documented field order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<Member>& object_members() const { return members_; }
+
+  // Array/object builders.
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  // First member named `key`, or nullptr. Objects are small (a handful of
+  // protocol fields); linear scan beats a map here.
+  const JsonValue* Find(std::string_view key) const {
+    for (const Member& m : members_) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+  // Compact single-line serialization (no whitespace) — one response per
+  // output line, framing by '\n'.
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+// Parses exactly one JSON value spanning all of `text` (leading/trailing
+// whitespace allowed, anything else after the value is a ParseError).
+// Supports null/true/false, numbers, strings with \uXXXX escapes (encoded
+// to UTF-8), arrays, and objects.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Appends `s` JSON-escaped, including the surrounding quotes, to `out`.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace emx
+
+#endif  // EMX_SERVE_JSON_H_

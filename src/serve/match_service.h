@@ -1,0 +1,204 @@
+#ifndef EMX_SERVE_MATCH_SERVICE_H_
+#define EMX_SERVE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/block/delta_index.h"
+#include "src/core/executor.h"
+#include "src/core/result.h"
+#include "src/feature/feature_gen.h"
+#include "src/feature/vectorizer.h"
+#include "src/ml/matcher.h"
+#include "src/prep/prepared_column.h"
+#include "src/rules/match_rules.h"
+#include "src/table/table.h"
+#include "src/text/tokenizer.h"
+#include "src/workflow/em_workflow.h"
+
+namespace emx {
+
+struct MatchServiceOptions {
+  // Delta + tombstoned postings tolerated per blocking index before it
+  // folds them back into its CSR snapshot.
+  size_t compact_threshold = 4096;
+  // Per-stage latency ring size (most recent N lookups feed p50/p99).
+  size_t latency_window = 4096;
+};
+
+// One ranked answer of a point lookup.
+struct RankedMatch {
+  uint32_t record = 0;      // corpus record id (row of the resident table)
+  double score = 0.0;       // 1.0 for rule matches, else the RF probability
+  std::string provenance;   // "sure_rule" | "ml" — same tags as MatchSet
+};
+
+struct LookupResult {
+  // Sure-rule matches first (ascending record id), then ML matches by
+  // (probability descending, record id ascending).
+  std::vector<RankedMatch> matches;
+  size_t num_candidates = 0;  // blocked ∪ sure (the batch pipeline's C2)
+  size_t num_sure = 0;        // C1 restricted to this query
+};
+
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t count = 0;
+};
+
+struct MatchServiceStats {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+  // Prepared-column build passes over CORPUS data (base columns at Create,
+  // one single-row segment per prep spec per Insert). Lookups must never
+  // move this counter — the "zero re-prep work" regression contract.
+  uint64_t corpus_preps = 0;
+  // Single-row preps of incoming query records (inherent per-lookup work).
+  uint64_t query_preps = 0;
+  uint64_t compactions = 0;      // summed over blocking indexes
+  uint64_t delta_postings = 0;   // currently pending, summed
+  uint64_t dead_postings = 0;    // currently tombstoned, summed
+  size_t live_records = 0;
+  size_t total_records = 0;
+  // Per-stage lookup latency over the ring window.
+  LatencySummary block;      // query prep + index probe + keep predicates
+  LatencySummary vectorize;  // PairBatch fill + imputation
+  LatencySummary score;      // forest inference + thresholding
+  LatencySummary rules;      // positive scan + negative filtering
+  LatencySummary total;
+};
+
+// A long-lived serving instance packaged from a trained batch EmWorkflow:
+// it owns a copy of the right-hand corpus table, resident prepared columns
+// for every (attribute, prep spec) the features and blockers read, the
+// trained matcher + imputer + rules, and one mutable DeltaTokenIndex per
+// distinct blocker (attribute, normalization, tokenizer) — built once at
+// Create and NEVER rebuilt from scratch afterwards.
+//
+// Lookup(query, row) answers "which corpus records match this record" with
+// results BIT-IDENTICAL to running the batch workflow over (query-table,
+// corpus) and restricting to that query row: same candidate records (the
+// delta index replays each blocker's keep predicate over identical token
+// multisets), same feature doubles (per-pair evaluation over prepared
+// segments is the documented bit-equal twin of the batch vectorizer), same
+// probabilities, same rule flips. match_service_test asserts this for
+// every record of the case-study and SF=10 corpora.
+//
+// Insert/Remove mutate the corpus incrementally: Insert appends the row,
+// preps ONLY that row (one single-row segment per prep spec — never a
+// column re-prep), and pushes its postings into each index's delta lists;
+// Remove tombstones. Each index folds deltas+tombstones into its CSR
+// snapshot when they exceed options.compact_threshold; probe results are
+// identical at every compaction state (delta_index_property_test fuzzes
+// this invariant).
+//
+// Ownership keeps prep work resident: the service holds its OWN PrepCache
+// (never shared with a PipelineRunner, whose per-run Clear() would drop
+// prepped state mid-service — see DESIGN.md §12) and direct shared_ptrs to
+// every corpus segment, so even an unrelated in-process batch run that
+// flushes the global Monge-Elkan memo generation costs the service only
+// warm-up, never correctness or re-prep.
+//
+// Thread-safety: any number of concurrent Lookups (shared lock); Insert /
+// Remove / Compact take the exclusive lock. Stats() is safe concurrently
+// with everything.
+class MatchService {
+ public:
+  // Packages `workflow` + `corpus` (the right-hand table) into a service.
+  // Every registered blocker must be an OverlapBlocker or
+  // OverlapCoefficientBlocker (the token-index family the delta index can
+  // answer); anything else is InvalidArgument — equality-style blocking
+  // belongs in positive rules, which serve evaluates directly. The matcher
+  // is optional (a rules-only workflow serves rule matches).
+  static Result<std::unique_ptr<MatchService>> Create(
+      const EmWorkflow& workflow, const Table& corpus,
+      MatchServiceOptions options = {}, const ExecutorContext& ctx = {});
+
+  // Out-of-line: members hold the private nested types by value.
+  ~MatchService();
+
+  // Point lookup for row `query_row` of `query` (a table with the
+  // left-hand schema the workflow was configured against).
+  Result<LookupResult> Lookup(const Table& query, size_t query_row) const;
+
+  // Appends a record (values in corpus schema order) and returns its
+  // record id. O(row tokens), not O(corpus).
+  Result<uint32_t> Insert(std::vector<Value> row);
+
+  // Tombstones a record; subsequent lookups never return it. NotFound for
+  // out-of-range or already-removed ids.
+  Status Remove(uint32_t record);
+
+  // Forces every blocking index to fold its deltas now (normally automatic
+  // via compact_threshold).
+  void Compact();
+
+  MatchServiceStats Stats() const;
+
+  // The resident corpus (rows are never physically removed; tombstones
+  // hide them). Not synchronized against concurrent Insert — test/driver
+  // convenience, not a hot-path API.
+  const Table& corpus() const { return corpus_; }
+  bool record_live(uint32_t record) const;
+
+ private:
+  struct CorpusPrep;     // one (attr, prep options, tokenizer) column family
+  struct QuerySpec;      // query-side prep descriptor
+  struct BlockPredicate; // one blocker's keep predicate over a shared index
+  struct IndexGroup;     // one delta index + the predicates probing it
+  struct FeatureBinding; // feature → (query spec, corpus prep) wiring
+  struct LatencyRing;
+
+  MatchService() = default;
+
+  // Stage bodies (called with mu_ held shared).
+  std::vector<uint32_t> SureMatches(const Table& query, size_t query_row,
+                                    const ExecutorContext& ctx) const;
+  Status BlockCandidates(const Table& query, size_t query_row,
+                         std::vector<uint32_t>* out) const;
+
+  Table corpus_;
+  std::vector<uint8_t> live_;
+  size_t base_rows_ = 0;  // rows prepped as segment 0 at Create
+  MatchServiceOptions options_;
+  ExecutorContext exec_ctx_;
+
+  // Workflow pieces (owned copies / shared ownership).
+  std::vector<MatchRule> positive_rules_;
+  std::vector<MatchRule> negative_rules_;
+  std::shared_ptr<MlMatcher> matcher_;
+  FeatureSet features_;
+  MeanImputer imputer_;
+
+  // The service-owned cache: interner + build lock. Never Cleared.
+  std::shared_ptr<PrepCache> prep_cache_;
+  std::vector<std::unique_ptr<CorpusPrep>> corpus_preps_;
+  std::vector<std::unique_ptr<QuerySpec>> query_specs_;
+  std::vector<std::unique_ptr<IndexGroup>> index_groups_;
+  std::vector<FeatureBinding> bindings_;
+
+  mutable std::shared_mutex mu_;
+
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> removes_{0};
+  mutable std::atomic<uint64_t> corpus_prep_builds_{0};
+  mutable std::atomic<uint64_t> query_prep_builds_{0};
+
+  mutable std::mutex lat_mu_;
+  std::unique_ptr<LatencyRing> lat_block_;
+  std::unique_ptr<LatencyRing> lat_vectorize_;
+  std::unique_ptr<LatencyRing> lat_score_;
+  std::unique_ptr<LatencyRing> lat_rules_;
+  std::unique_ptr<LatencyRing> lat_total_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_SERVE_MATCH_SERVICE_H_

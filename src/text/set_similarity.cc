@@ -243,6 +243,10 @@ void ClearMongeElkanMemo() {
   g_memo_generation.fetch_add(1, std::memory_order_relaxed);
 }
 
+uint64_t MongeElkanMemoGeneration() {
+  return g_memo_generation.load(std::memory_order_relaxed);
+}
+
 double MongeElkanAsymmetric(const std::vector<std::string>& a,
                             const std::vector<std::string>& b) {
   return MongeElkanAsymmetric(a.data(), a.size(), b.data(), b.size());

@@ -99,6 +99,13 @@ inline constexpr size_t kMongeElkanMemoMaxEntries = size_t{1} << 20;
 // are identical either way.
 void ClearMongeElkanMemo();
 
+// The memo's current generation counter (bumped by every
+// ClearMongeElkanMemo). Observability hook: MatchService's tests use it to
+// prove which code paths flush the memo — a batch PipelineRunner::Run in
+// the same process bumps it (its per-run PrepCache::Clear), while service
+// lookups never do.
+uint64_t MongeElkanMemoGeneration();
+
 // TF-IDF weighted cosine over a fixed corpus vocabulary. Build once from all
 // strings of both tables, then score token vectors. Unknown tokens get
 // idf = log(N + 1) (treated as if they occur in no document).

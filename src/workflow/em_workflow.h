@@ -81,6 +81,15 @@ class EmWorkflow {
   const std::vector<MatchRule>& negative_rules() const {
     return negative_rules_;
   }
+  // Read access to the configured stages, in registration order — the
+  // handoff surface MatchService::Create consumes to package a trained
+  // batch workflow into a resident serving instance.
+  const std::vector<std::shared_ptr<Blocker>>& blockers() const {
+    return blockers_;
+  }
+  const std::shared_ptr<MlMatcher>& matcher() const { return matcher_; }
+  const FeatureSet& features() const { return features_; }
+  const MeanImputer& imputer() const { return imputer_; }
 
   // Executes all configured stages on one table pair. Composed from the
   // per-stage entry points below; PipelineRunner (pipeline_runner.h) drives

@@ -1,0 +1,330 @@
+// DeltaTokenIndex property suite: after EVERY operation of a seeded random
+// interleaving of Add / Remove / Compact / Probe (>= 10k ops per run), the
+// mutable index must answer probes exactly like a from-scratch index built
+// over the live record set — the rebuild-equivalence contract MatchService
+// leans on. A concurrent section (shared_mutex readers vs one mutator, at
+// 1/2/8 reader threads) gives TSan a surface for the serve-mode locking
+// pattern.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/block/delta_index.h"
+
+namespace emx {
+namespace {
+
+IdSpan Span(const std::vector<uint32_t>& ids) {
+  return {ids.data(), static_cast<uint32_t>(ids.size())};
+}
+
+// Reference model: every record's sorted token multiset + live flag.
+struct Model {
+  std::vector<std::vector<uint32_t>> records;
+  std::vector<bool> live;
+
+  size_t live_count() const {
+    size_t n = 0;
+    for (bool l : live) n += l;
+    return n;
+  }
+};
+
+// Probe answers as an id → overlap map (ascending by construction).
+using ProbeAnswer = std::map<uint32_t, uint32_t>;
+
+ProbeAnswer ProbeIndex(const DeltaTokenIndex& index,
+                       const std::vector<uint32_t>& query,
+                       DeltaTokenIndex::ProbeScratch* scratch) {
+  ProbeAnswer out;
+  uint32_t last_emitted = 0;
+  bool first = true;
+  index.Probe(Span(query), scratch, [&](uint32_t r, uint32_t overlap) {
+    if (!first) EXPECT_GT(r, last_emitted) << "emit order must ascend";
+    first = false;
+    last_emitted = r;
+    out[r] = overlap;
+  });
+  return out;
+}
+
+// The oracle: per-occurrence overlap — every query occurrence of token v
+// counts every record posting of v, so overlap = sum_v mult_q(v) *
+// mult_r(v) (the OverlapJoinIds convention the index documents).
+ProbeAnswer ProbeModel(const Model& model,
+                       const std::vector<uint32_t>& query) {
+  ProbeAnswer out;
+  for (uint32_t r = 0; r < model.records.size(); ++r) {
+    if (!model.live[r]) continue;
+    const std::vector<uint32_t>& rec = model.records[r];
+    size_t i = 0, j = 0, overlap = 0;
+    while (i < query.size() && j < rec.size()) {
+      if (query[i] < rec[j]) {
+        ++i;
+      } else if (rec[j] < query[i]) {
+        ++j;
+      } else {
+        // Sorted runs of the shared token: multiply their lengths.
+        uint32_t v = query[i];
+        size_t qi = i, rj = j;
+        while (qi < query.size() && query[qi] == v) ++qi;
+        while (rj < rec.size() && rec[rj] == v) ++rj;
+        overlap += (qi - i) * (rj - j);
+        i = qi;
+        j = rj;
+      }
+    }
+    if (overlap > 0) out[r] = static_cast<uint32_t>(overlap);
+  }
+  return out;
+}
+
+// A from-scratch index over the live records only, with a mapping from its
+// dense ids back to the model's. Probing it must agree with the mutable
+// index probed directly — this IS "equals a rebuild of the live set".
+ProbeAnswer ProbeFreshRebuild(const Model& model,
+                              const std::vector<uint32_t>& query,
+                              DeltaTokenIndex::ProbeScratch* scratch) {
+  DeltaTokenIndex fresh(0);
+  std::vector<uint32_t> dense_to_model;
+  for (uint32_t r = 0; r < model.records.size(); ++r) {
+    if (!model.live[r]) continue;
+    fresh.Add(Span(model.records[r]));
+    dense_to_model.push_back(r);
+  }
+  ProbeAnswer out;
+  fresh.Probe(Span(query), scratch, [&](uint32_t r, uint32_t overlap) {
+    out[dense_to_model[r]] = overlap;
+  });
+  return out;
+}
+
+std::vector<uint32_t> RandomTokenRun(std::mt19937& rng, size_t universe,
+                                     size_t max_len) {
+  std::uniform_int_distribution<size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<uint32_t> tok_dist(
+      0, static_cast<uint32_t>(universe - 1));
+  std::vector<uint32_t> ids(len_dist(rng));
+  for (uint32_t& id : ids) id = tok_dist(rng);
+  std::sort(ids.begin(), ids.end());  // sorted, duplicates preserved
+  return ids;
+}
+
+// One fuzz campaign: `ops` random operations against one index + model,
+// checking equivalence after every single op with a fixed probe battery
+// (cheap) and a full fresh-rebuild comparison on a stride (exact but
+// heavier). The live set is kept bounded so per-op verification stays
+// proportional.
+void RunCampaign(uint64_t seed, size_t ops, size_t compact_threshold) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " threshold=" + std::to_string(compact_threshold));
+  std::mt19937 rng(seed);
+  const size_t kUniverse = 48;  // small → dense overlaps, hot posting lists
+  const size_t kMaxLen = 8;
+  const size_t kMaxLive = 300;
+
+  DeltaTokenIndex index(compact_threshold);
+  Model model;
+  DeltaTokenIndex::ProbeScratch scratch, fresh_scratch;
+
+  // Fixed probe battery covering rare and hot tokens, short and long
+  // queries, and a query with duplicate occurrences.
+  std::vector<std::vector<uint32_t>> battery = {
+      {0},
+      {1, 2, 3},
+      {5, 5, 9},  // duplicate occurrences exercise per-occurrence counts
+      {10, 20, 30, 40, 47},
+      RandomTokenRun(rng, kUniverse, kMaxLen),
+  };
+
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  for (size_t step = 0; step < ops; ++step) {
+    int roll = op_dist(rng);
+    if (roll < 45 && model.live_count() < kMaxLive) {
+      std::vector<uint32_t> ids = RandomTokenRun(rng, kUniverse, kMaxLen);
+      uint32_t id = index.Add(Span(ids));
+      ASSERT_EQ(id, model.records.size());
+      model.records.push_back(std::move(ids));
+      model.live.push_back(true);
+    } else if (roll < 75 && !model.records.empty()) {
+      std::uniform_int_distribution<size_t> pick(0, model.records.size() - 1);
+      uint32_t victim = static_cast<uint32_t>(pick(rng));
+      index.Remove(victim);  // no-op when already dead, like the model
+      model.live[victim] = false;
+    } else if (roll < 80) {
+      index.Compact();
+    }
+    // else: pure probe step (mutation skipped when Add hit the cap).
+
+    ASSERT_EQ(index.live_rows(), model.live_count()) << "step " << step;
+    for (const std::vector<uint32_t>& q : battery) {
+      ASSERT_EQ(ProbeIndex(index, q, &scratch), ProbeModel(model, q))
+          << "step " << step;
+    }
+    if (step % 97 == 0) {
+      std::vector<uint32_t> q = RandomTokenRun(rng, kUniverse, kMaxLen);
+      ProbeAnswer direct = ProbeIndex(index, q, &scratch);
+      ASSERT_EQ(direct, ProbeFreshRebuild(model, q, &fresh_scratch))
+          << "step " << step;
+      ASSERT_EQ(direct, ProbeModel(model, q)) << "step " << step;
+    }
+  }
+  // Terminal state: compact once more and re-verify the whole battery.
+  index.Compact();
+  for (const std::vector<uint32_t>& q : battery) {
+    ASSERT_EQ(ProbeIndex(index, q, &scratch), ProbeModel(model, q));
+  }
+  EXPECT_EQ(index.delta_postings(), 0u);
+  EXPECT_EQ(index.dead_postings(), 0u);
+}
+
+// >= 10k ops, split across compaction regimes: manual-only (threshold 0,
+// explicit Compact ops hit every interleaving point), hair-trigger
+// (threshold 1 — nearly every mutation compacts), and a serving-like
+// threshold that compacts mid-sequence.
+TEST(DeltaIndexPropertyTest, RandomInterleavingsEqualFreshRebuild) {
+  RunCampaign(/*seed=*/2019, /*ops=*/4000, /*compact_threshold=*/0);
+  RunCampaign(/*seed=*/7, /*ops=*/3000, /*compact_threshold=*/1);
+  RunCampaign(/*seed=*/1336, /*ops=*/3000, /*compact_threshold=*/64);
+}
+
+TEST(DeltaIndexPropertyTest, EmptyAndDegenerateShapes) {
+  DeltaTokenIndex index(0);
+  DeltaTokenIndex::ProbeScratch scratch;
+  // Probing an empty index emits nothing.
+  EXPECT_TRUE(ProbeIndex(index, {1, 2, 3}, &scratch).empty());
+  // Empty record: never emitted, but occupies an id.
+  EXPECT_EQ(index.Add({nullptr, 0}), 0u);
+  EXPECT_TRUE(ProbeIndex(index, {1, 2, 3}, &scratch).empty());
+  // Empty query emits nothing regardless of contents.
+  EXPECT_EQ(index.Add(Span(std::vector<uint32_t>{1, 2, 3})), 1u);
+  EXPECT_TRUE(ProbeIndex(index, {}, &scratch).empty());
+  // Token ids far past the snapshot vocabulary are handled (delta lists
+  // grow on demand; CSR bound-checks).
+  std::vector<uint32_t> big = {1000000};
+  EXPECT_EQ(index.Add(Span(big)), 2u);
+  ProbeAnswer hit = ProbeIndex(index, big, &scratch);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit.at(2), 1u);
+  index.Compact();
+  EXPECT_EQ(ProbeIndex(index, big, &scratch).at(2), 1u);
+  // Remove everything; the index answers empty at every compaction state.
+  index.Remove(0);
+  index.Remove(1);
+  index.Remove(2);
+  EXPECT_TRUE(ProbeIndex(index, big, &scratch).empty());
+  EXPECT_TRUE(ProbeIndex(index, {1, 2, 3}, &scratch).empty());
+  index.Compact();
+  EXPECT_TRUE(ProbeIndex(index, {1, 2, 3}, &scratch).empty());
+  EXPECT_EQ(index.live_rows(), 0u);
+}
+
+// Tombstoned ids are never reused and stay addressable across compactions.
+TEST(DeltaIndexPropertyTest, RecordIdsStableAcrossCompaction) {
+  DeltaTokenIndex index(0);
+  std::vector<uint32_t> a = {1, 2, 3}, b = {2, 3, 4}, c = {9};
+  EXPECT_EQ(index.Add(Span(a)), 0u);
+  EXPECT_EQ(index.Add(Span(b)), 1u);
+  index.Remove(0);
+  index.Compact();
+  EXPECT_EQ(index.Add(Span(c)), 2u) << "ids keep ascending after compaction";
+  EXPECT_FALSE(index.live(0));
+  EXPECT_TRUE(index.live(1));
+  ASSERT_EQ(index.record_ids(1).size, 3u);
+  EXPECT_EQ(index.record_ids(1).data[0], 2u);
+  DeltaTokenIndex::ProbeScratch scratch;
+  ProbeAnswer ans = ProbeIndex(index, {2, 3}, &scratch);
+  ASSERT_EQ(ans.size(), 1u);
+  EXPECT_EQ(ans.at(1), 2u);
+}
+
+// The serve locking pattern under TSan: readers probe under a shared lock
+// while one mutator inserts/removes/compacts under the exclusive lock.
+// Readers assert internal consistency (live records, positive overlap,
+// ascending emit); exact values are racy by design, equivalence is the
+// single-threaded suite's job.
+TEST(DeltaIndexPropertyTest, ConcurrentLookupsDuringIngest) {
+  for (size_t readers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("readers=" + std::to_string(readers));
+    DeltaTokenIndex index(32);
+    std::shared_mutex mu;
+    std::mt19937 seed_rng(readers);
+
+    // Seed records so probes hit from the start.
+    {
+      std::mt19937 rng(99);
+      for (int i = 0; i < 64; ++i) {
+        std::vector<uint32_t> ids = RandomTokenRun(rng, 48, 8);
+        index.Add(Span(ids));
+      }
+    }
+
+    // Readers do a BOUNDED amount of work (glibc's shared_mutex is
+    // reader-preferring; spinning readers would starve the mutator), the
+    // mutator runs until every reader finished. Total runtime is bounded
+    // by the readers, races are plentiful, and nothing can hang.
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> probes{0};
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < readers; ++t) {
+      pool.emplace_back([&, t] {
+        std::mt19937 rng(1000 + t);
+        DeltaTokenIndex::ProbeScratch scratch;
+        for (int i = 0; i < 400; ++i) {
+          std::vector<uint32_t> q = RandomTokenRun(rng, 48, 8);
+          std::shared_lock<std::shared_mutex> lock(mu);
+          index.Probe(Span(q), &scratch, [&](uint32_t r, uint32_t overlap) {
+            EXPECT_TRUE(index.live(r));
+            EXPECT_GT(overlap, 0u);
+          });
+          probes.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::thread mutator([&] {
+      std::mt19937 rng(7);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int roll = static_cast<int>(rng() % 100);
+        std::unique_lock<std::shared_mutex> lock(mu);
+        if (roll < 55) {
+          std::vector<uint32_t> ids = RandomTokenRun(rng, 48, 8);
+          index.Add(Span(ids));
+        } else if (roll < 90 && index.rows() > 0) {
+          index.Remove(static_cast<uint32_t>(rng() % index.rows()));
+        } else {
+          index.Compact();
+        }
+      }
+    });
+    for (std::thread& t : pool) t.join();
+    stop.store(true);
+    mutator.join();
+    EXPECT_GT(probes.load(), 0u);
+    // Post-race equivalence: the surviving state still equals a rebuild.
+    DeltaTokenIndex::ProbeScratch scratch, fresh_scratch;
+    Model model;
+    for (uint32_t r = 0; r < index.rows(); ++r) {
+      model.records.emplace_back(index.record_ids(r).data,
+                                 index.record_ids(r).data +
+                                     index.record_ids(r).size);
+      model.live.push_back(index.live(r));
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::vector<uint32_t> q = RandomTokenRun(seed_rng, 48, 8);
+      EXPECT_EQ(ProbeIndex(index, q, &scratch),
+                ProbeFreshRebuild(model, q, &fresh_scratch));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emx
